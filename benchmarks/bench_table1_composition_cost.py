@@ -1,0 +1,88 @@
+"""Table 1: composition cost, API-centric vs Knactor.
+
+Regenerates the paper's Table 1 from the real task artifacts in
+``repro.apps.retail.tasks`` (operations, #files, SLOC), and additionally
+prices the ``b``/``d`` operations in virtual time using the cluster
+model -- the cost Knactor avoids entirely.
+"""
+
+import pytest
+
+from repro.apps.retail.tasks import (
+    all_tasks,
+    generated_stub_sloc,
+    rebuild_redeploy_seconds,
+)
+from repro.metrics.report import Table
+from repro.simnet import Environment
+
+#: The paper's Table 1 rows for side-by-side reporting.
+PAPER_ROWS = [
+    ("T1", "c / f / b / d", "f", 8, 1, 109, 7),
+    ("T2", "c / f / b / d", "f", 2, 1, 14, 1),
+    ("T3", "c / f / b / d", "f", 4, 1, 93, 7),
+]
+
+
+@pytest.fixture(scope="module")
+def comparisons():
+    return all_tasks()
+
+
+def render_rows(rows, title):
+    table = Table(
+        ["Task", "API ops", "KN ops", "API files", "KN files",
+         "API SLOC", "KN SLOC"],
+        title=title,
+    )
+    for row in rows:
+        table.add_row(*row)
+    return table.render()
+
+
+def test_table1_report(comparisons, report):
+    measured = [c.row() for c in comparisons]
+    text = render_rows(PAPER_ROWS, "Table 1 (paper)")
+    text += "\n\n" + render_rows(measured, "Table 1 (measured, this repro)")
+    text += (
+        f"\n\ngenerated stub SLOC additionally carried by the API approach: "
+        f"{generated_stub_sloc()}"
+    )
+    report(text)
+    for comparison in comparisons:
+        wins = comparison.knactor_wins()
+        assert all(wins.values()), (comparison.task, wins)
+
+
+def test_rebuild_redeploy_cost_report(report):
+    """Price the b/d operations the API approach pays per change."""
+    env = Environment()
+    build_seconds, rollout_seconds = env.run(
+        until=rebuild_redeploy_seconds(env)
+    )
+    report(
+        "API-centric b/d cost per composition change (virtual time):\n"
+        f"  rebuild+push : {build_seconds:8.1f} s\n"
+        f"  rolling update: {rollout_seconds:7.1f} s\n"
+        "Knactor equivalent: 0 s (integrator reconfiguration only)"
+    )
+    assert build_seconds > 30.0
+    assert rollout_seconds > 5.0
+
+
+def test_bench_task_accounting(benchmark):
+    """Measure the accounting itself (it parses every artifact)."""
+    def run():
+        return [c.row() for c in all_tasks()]
+
+    rows = benchmark(run)
+    assert len(rows) == 3
+
+
+def test_bench_rollout_simulation(benchmark):
+    def run():
+        env = Environment()
+        return env.run(until=rebuild_redeploy_seconds(env))
+
+    build_seconds, rollout_seconds = benchmark(run)
+    assert build_seconds > 0 and rollout_seconds > 0

@@ -1,0 +1,79 @@
+"""Table 2: shipment-request latency breakdown per setup.
+
+Runs the online retail app under all four setups (RPC, K-apiserver,
+K-redis, K-redis-udf) on the discrete-event substrate and prints the
+paper's table next to the measured one.  Absolute numbers depend on the
+latency calibration in :mod:`repro.config`; the asserted claims are the
+paper's qualitative takeaways.
+"""
+
+import pytest
+
+from repro.apps.retail.measure import (
+    PAPER_TABLE2,
+    run_knactor_setup,
+    run_rpc_setup,
+)
+from repro.metrics.report import Table
+
+STAGES = ("C-I", "I", "I-S", "S", "Prop.", "Total")
+ORDERS = 15
+
+
+@pytest.fixture(scope="module")
+def breakdowns():
+    rows = {"RPC": run_rpc_setup(orders=ORDERS)}
+    for setup in ("K-apiserver", "K-redis", "K-redis-udf"):
+        rows[setup] = run_knactor_setup(setup, orders=ORDERS)
+    return rows
+
+
+def _render(rows_ms, title):
+    table = Table(["Setup"] + list(STAGES) + ["(ms)"], title=title)
+    for setup, row in rows_ms.items():
+        cells = [setup] + [
+            None if row.get(stage) is None else round(row[stage], 2)
+            for stage in STAGES
+        ] + [""]
+        table.add_row(*cells)
+    return table.render()
+
+
+def test_table2_report(breakdowns, report):
+    measured = {name: bd.row() for name, bd in breakdowns.items()}
+    text = _render(PAPER_TABLE2, "Table 2 (paper)")
+    text += "\n\n" + _render(measured, f"Table 2 (measured, {ORDERS} requests/setup)")
+    report(text)
+    for name, bd in breakdowns.items():
+        assert bd.count() >= ORDERS - 1, f"{name}: requests went unmeasured"
+
+
+def test_shape_claims(breakdowns):
+    rows = {name: bd.row() for name, bd in breakdowns.items()}
+    # 1. The choice of DE substantially impacts propagation latency.
+    assert rows["K-apiserver"]["Prop."] > 4 * rows["K-redis"]["Prop."]
+    # 2. Push-down further reduces integrator<->store movement.
+    assert rows["K-redis-udf"]["I-S"] < rows["K-redis"]["I-S"] / 2
+    # 3. Overhead is small relative to the app's bottleneck.
+    for name, row in rows.items():
+        assert row["S"] > 0.9 * row["Total"], name
+    # 4. Direct RPC remains the lowest-latency path.
+    assert rows["RPC"]["Prop."] <= min(
+        rows["K-apiserver"]["Prop."], rows["K-redis"]["Prop."]
+    )
+
+
+@pytest.mark.parametrize("setup", ["K-apiserver", "K-redis", "K-redis-udf"])
+def test_bench_knactor_setup(benchmark, setup):
+    """Wall-clock cost of simulating one full setup (5 requests)."""
+    result = benchmark.pedantic(
+        lambda: run_knactor_setup(setup, orders=5), rounds=3, iterations=1
+    )
+    assert result.count() >= 4
+
+
+def test_bench_rpc_setup(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_rpc_setup(orders=5), rounds=3, iterations=1
+    )
+    assert result.count() == 5

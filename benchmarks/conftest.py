@@ -1,0 +1,14 @@
+"""Shared benchmark fixtures."""
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a report table to the real terminal, bypassing capture."""
+
+    def emit(text):
+        with capsys.disabled():
+            print("\n" + text + "\n")
+
+    return emit

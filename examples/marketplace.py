@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""The integrator marketplace (paper §5, "Ecosystem").
+
+An integration vendor publishes a reusable package: a DXG plus its schema
+requirements.  A home operator runs a thermostat from vendor X and a
+display from vendor Y -- neither service has ever heard of the other, and
+their hosted store names follow each vendor's own conventions.  The
+catalog discovers compatibility FROM THE SCHEMAS alone and installs the
+integrator in one step.
+
+Run:  python examples/marketplace.py
+"""
+
+from repro.core import (
+    Catalog,
+    IntegratorPackage,
+    Knactor,
+    KnactorRuntime,
+    StoreBinding,
+)
+from repro.exchange import ObjectDE
+from repro.simnet import Environment
+from repro.store import MemKV
+
+THERMOSTAT_SCHEMA = """\
+schema: Home/v1/Thermostat/Reading
+celsius: number
+room: string
+"""
+
+DISPLAY_SCHEMA = """\
+schema: Home/v1/Display/Panel
+text: string # +kr: external
+"""
+
+
+def main():
+    print("1. a vendor publishes an integrator package to the marketplace:")
+    catalog = Catalog()
+    package = IntegratorPackage(
+        name="thermo-display",
+        version="1.0",
+        description="Show any Home/v1 thermostat on any Home/v1 display",
+        author="acme-integrations",
+        dxg="""\
+Input:
+  T: Home/v1/Thermostat/any
+  D: Home/v1/Display/any
+DXG:
+  D:
+    text: concat(T.room, ': ', T.celsius, ' C')
+""",
+    )
+    catalog.publish(package)
+    print(f"   published {package.name}@{package.version} "
+          f"by {package.author}")
+
+    print("\n2. an operator's home runs two unrelated vendors' services:")
+    env = Environment()
+    runtime = KnactorRuntime(env)
+    de = ObjectDE(env, MemKV(env, runtime.network))
+    runtime.add_exchange("object", de)
+    runtime.add_knactor(Knactor(
+        "vendorX-thermo",
+        [StoreBinding("default", "object", THERMOSTAT_SCHEMA,
+                      store_name="vx-thermo-livingroom")],
+    ))
+    runtime.add_knactor(Knactor(
+        "vendorY-display",
+        [StoreBinding("default", "object", DISPLAY_SCHEMA,
+                      store_name="vy-panel-kitchen")],
+    ))
+    runtime.start()
+
+    print("\n3. the catalog discovers what fits, from schemas alone:")
+    for pkg, report in catalog.compatible_packages(de):
+        print("   " + report.describe().replace("\n", "\n   "))
+
+    print("\n4. one-step install (grants + Cast, no service changes):")
+    catalog.install("thermo-display", runtime)
+
+    thermostat = runtime.handle_of("vendorX-thermo")
+    env.run(until=thermostat.create("living", {"celsius": 21.0, "room": "living"}))
+    env.run(until=env.now + 1.0)
+    display = runtime.handle_of("vendorY-display")
+    panel = env.run(until=display.get("living"))["data"]
+    print(f"   the display now shows: {panel['text']!r}")
+
+
+if __name__ == "__main__":
+    main()

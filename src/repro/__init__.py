@@ -1,0 +1,31 @@
+"""Knactor: a data-centric service composition framework.
+
+This package is a from-scratch reproduction of the system described in
+"Toward Data-Centric Service Composition" (HotNets '24).  It provides:
+
+- ``repro.simnet``   -- deterministic discrete-event simulation kernel,
+- ``repro.schema``   -- data-store schema system with ``+kr`` annotations,
+- ``repro.store``    -- Object stores (apiserver-like, Redis-like) and a
+  Log store (Zed-lake-like), built from scratch,
+- ``repro.exchange`` -- the Data Exchange layer (hosting, access control),
+- ``repro.core``     -- knactors, reconcilers, integrators (Cast and Sync),
+  the DXG language, the runtime, and the optimizations from the paper,
+- ``repro.rpc`` / ``repro.pubsub`` -- API-centric baselines,
+- ``repro.cluster``  -- a miniature deployment model (build/rollout costs),
+- ``repro.apps``     -- the paper's example applications,
+- ``repro.metrics``  -- SLOC / composition-cost / latency measurement.
+
+Quickstart::
+
+    from repro import simnet
+    from repro.apps.retail import knactor_app
+
+    env = simnet.Environment()
+    app = knactor_app.build(env)
+    app.start()
+    env.run(until=5.0)
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

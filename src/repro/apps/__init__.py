@@ -1,0 +1,9 @@
+"""Example applications from the paper.
+
+- :mod:`repro.apps.retail`        -- the online retail web app (11
+  knactors; gRPC-style baseline), the subject of Tables 1 and 2,
+- :mod:`repro.apps.smarthome`     -- the House/Motion/Lamp IoT app
+  (MQTT-broker baseline; Fig. 4 in Knactor form),
+- :mod:`repro.apps.socialnetwork` -- a DeathStarBench-like social network
+  (RPC wiring only; reproduces §2's scattering count).
+"""

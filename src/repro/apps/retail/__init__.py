@@ -1,0 +1,22 @@
+"""The online retail application (paper §2 example 1, §4 evaluation).
+
+Eleven knactors, mirroring the 11-tier microservices demo the paper
+adapts: Frontend, Cart, ProductCatalog, Currency, Payment, Shipping,
+Email, Checkout, Recommendation, Ad, and LoadGen.  Two complete variants:
+
+- :mod:`repro.apps.retail.rpc_app`     -- API-centric (gRPC-style stubs,
+  synchronous orchestration inside Checkout),
+- :mod:`repro.apps.retail.knactor_app` -- data-centric (externalized
+  stores + the Fig. 6 Cast integrator).
+
+Plus the measurement harnesses behind Tables 1 and 2:
+
+- :mod:`repro.apps.retail.tasks`   -- T1/T2/T3 composition-cost artifacts,
+- :mod:`repro.apps.retail.measure` -- per-stage latency extraction.
+"""
+
+from repro.apps.retail.knactor_app import RETAIL_DXG, RetailKnactorApp
+from repro.apps.retail.rpc_app import RetailRpcApp
+from repro.apps.retail.workload import OrderWorkload
+
+__all__ = ["RETAIL_DXG", "OrderWorkload", "RetailKnactorApp", "RetailRpcApp"]

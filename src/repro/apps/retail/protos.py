@@ -1,0 +1,309 @@
+"""Protobuf-style IDL definitions for the RPC (API-centric) variant.
+
+These mirror the 11-tier microservices demo the paper adapts: 15 rpc
+methods across 9 service-exposing tiers (Frontend and LoadGen are pure
+clients).  They are *real artifacts*: the RPC app parses them, generates
+stubs from them, and the composition-cost benchmark counts them.
+"""
+
+PRODUCT_CATALOG_PROTO = """\
+syntax = "proto3";
+package onlineretail.productcatalog.v1;
+
+message Product {
+  string id = 1;
+  string name = 2;
+  double price_usd = 3;
+  repeated string categories = 4;
+}
+
+message ListProductsRequest {
+  int32 page_size = 1;
+}
+
+message ListProductsResponse {
+  repeated Product products = 1;
+}
+
+message GetProductRequest {
+  string id = 1;
+}
+
+message SearchProductsRequest {
+  string query = 1;
+}
+
+message SearchProductsResponse {
+  repeated Product results = 1;
+}
+
+service ProductCatalogService {
+  rpc ListProducts(ListProductsRequest) returns (ListProductsResponse);
+  rpc GetProduct(GetProductRequest) returns (Product);
+  rpc SearchProducts(SearchProductsRequest) returns (SearchProductsResponse);
+}
+"""
+
+CART_PROTO = """\
+syntax = "proto3";
+package onlineretail.cart.v1;
+
+message CartItem {
+  string product_id = 1;
+  int32 quantity = 2;
+}
+
+message AddItemRequest {
+  string user_id = 1;
+  CartItem item = 2;
+}
+
+message GetCartRequest {
+  string user_id = 1;
+}
+
+message Cart {
+  string user_id = 1;
+  repeated CartItem items = 2;
+}
+
+message EmptyCartRequest {
+  string user_id = 1;
+}
+
+message Empty {
+}
+
+service CartService {
+  rpc AddItem(AddItemRequest) returns (Empty);
+  rpc GetCart(GetCartRequest) returns (Cart);
+  rpc EmptyCart(EmptyCartRequest) returns (Empty);
+}
+"""
+
+CURRENCY_PROTO = """\
+syntax = "proto3";
+package onlineretail.currency.v1;
+
+message Money {
+  double amount = 1;
+  string currency_code = 2;
+}
+
+message ConvertRequest {
+  Money from = 1;
+  string to_code = 2;
+}
+
+message GetSupportedCurrenciesRequest {
+}
+
+message GetSupportedCurrenciesResponse {
+  repeated string currency_codes = 1;
+}
+
+service CurrencyService {
+  rpc GetSupportedCurrencies(GetSupportedCurrenciesRequest) returns (GetSupportedCurrenciesResponse);
+  rpc Convert(ConvertRequest) returns (Money);
+}
+"""
+
+PAYMENT_PROTO = """\
+syntax = "proto3";
+package onlineretail.payment.v1;
+
+message ChargeRequest {
+  double amount = 1;
+  string currency_code = 2;
+  string card_token = 3;
+}
+
+message ChargeResponse {
+  string transaction_id = 1;
+}
+
+service PaymentService {
+  rpc Charge(ChargeRequest) returns (ChargeResponse);
+}
+"""
+
+#: The Shipping service's v1 API (Fig. 3a's /ShipOrder).
+SHIPPING_PROTO = """\
+syntax = "proto3";
+package onlineretail.shipping.v1;
+
+message Item {
+  string name = 1;
+}
+
+message GetQuoteRequest {
+  string address = 1;
+  repeated Item items = 2;
+}
+
+message GetQuoteResponse {
+  double cost_usd = 1;
+}
+
+message ShipOrderRequest {
+  repeated Item items = 1;
+  string address = 2;
+  string method = 3;
+}
+
+message ShipOrderResponse {
+  string tracking_id = 1;
+  double shipping_cost = 2;
+  string currency = 3;
+}
+
+service ShippingService {
+  rpc GetQuote(GetQuoteRequest) returns (GetQuoteResponse);
+  rpc ShipOrder(ShipOrderRequest) returns (ShipOrderResponse);
+}
+"""
+
+#: Task T3's schema evolution: v2 restructures the request (nested
+#: destination message, renamed fields) -- a breaking change clients must
+#: adapt to.
+SHIPPING_PROTO_V2 = """\
+syntax = "proto3";
+package onlineretail.shipping.v2;
+
+message Item {
+  string product_name = 1;
+  int32 quantity = 2;
+}
+
+message Destination {
+  string street_address = 1;
+  string zip_code = 2;
+}
+
+message GetQuoteRequest {
+  Destination destination = 1;
+  repeated Item items = 2;
+}
+
+message GetQuoteResponse {
+  double cost_usd = 1;
+}
+
+message ShipOrderRequest {
+  repeated Item items = 1;
+  Destination destination = 2;
+  string service_level = 3;
+}
+
+message ShipOrderResponse {
+  string tracking_id = 1;
+  double shipping_cost = 2;
+  string currency = 3;
+}
+
+service ShippingService {
+  rpc GetQuote(GetQuoteRequest) returns (GetQuoteResponse);
+  rpc ShipOrder(ShipOrderRequest) returns (ShipOrderResponse);
+}
+"""
+
+EMAIL_PROTO = """\
+syntax = "proto3";
+package onlineretail.email.v1;
+
+message SendOrderConfirmationRequest {
+  string email = 1;
+  string order_id = 2;
+  string tracking_id = 3;
+}
+
+message Empty {
+}
+
+service EmailService {
+  rpc SendOrderConfirmation(SendOrderConfirmationRequest) returns (Empty);
+}
+"""
+
+CHECKOUT_PROTO = """\
+syntax = "proto3";
+package onlineretail.checkout.v1;
+
+message OrderItem {
+  string name = 1;
+  double price_usd = 2;
+}
+
+message PlaceOrderRequest {
+  string user_id = 1;
+  string email = 2;
+  string address = 3;
+  string currency_code = 4;
+  string card_token = 5;
+  repeated OrderItem items = 6;
+}
+
+message PlaceOrderResponse {
+  string order_id = 1;
+  string tracking_id = 2;
+  string transaction_id = 3;
+  double total_cost = 4;
+}
+
+service CheckoutService {
+  rpc PlaceOrder(PlaceOrderRequest) returns (PlaceOrderResponse);
+}
+"""
+
+RECOMMENDATION_PROTO = """\
+syntax = "proto3";
+package onlineretail.recommendation.v1;
+
+message ListRecommendationsRequest {
+  string user_id = 1;
+  repeated string product_ids = 2;
+}
+
+message ListRecommendationsResponse {
+  repeated string product_ids = 1;
+}
+
+service RecommendationService {
+  rpc ListRecommendations(ListRecommendationsRequest) returns (ListRecommendationsResponse);
+}
+"""
+
+AD_PROTO = """\
+syntax = "proto3";
+package onlineretail.ad.v1;
+
+message AdRequest {
+  repeated string context_keys = 1;
+}
+
+message Ad {
+  string redirect_url = 1;
+  string text = 2;
+}
+
+message AdResponse {
+  repeated Ad ads = 1;
+}
+
+service AdService {
+  rpc GetAds(AdRequest) returns (AdResponse);
+}
+"""
+
+#: service name -> (proto file name, proto text)
+ALL_PROTOS = {
+    "ProductCatalogService": ("productcatalog.proto", PRODUCT_CATALOG_PROTO),
+    "CartService": ("cart.proto", CART_PROTO),
+    "CurrencyService": ("currency.proto", CURRENCY_PROTO),
+    "PaymentService": ("payment.proto", PAYMENT_PROTO),
+    "ShippingService": ("shipping.proto", SHIPPING_PROTO),
+    "EmailService": ("email.proto", EMAIL_PROTO),
+    "CheckoutService": ("checkout.proto", CHECKOUT_PROTO),
+    "RecommendationService": ("recommendation.proto", RECOMMENDATION_PROTO),
+    "AdService": ("ad.proto", AD_PROTO),
+}

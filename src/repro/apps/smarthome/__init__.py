@@ -1,0 +1,19 @@
+"""The smart home application (paper §2 example 2, Fig. 4).
+
+Three services from three vendors -- House (platform), Motion (sensor
+vendor), Lamp (light vendor) -- that adjust lamp brightness from occupancy
+while monitoring energy use.  Two complete variants:
+
+- :mod:`repro.apps.smarthome.pubsub_app`  -- API-centric: composed through
+  an MQTT-style broker with shared message codecs,
+- :mod:`repro.apps.smarthome.knactor_app` -- data-centric: each knactor
+  has an Object store (configuration) and a Log store (readings), composed
+  by Sync integrators (sensor dataflows) and a Cast integrator (the
+  intensity -> brightness control edge).
+"""
+
+from repro.apps.smarthome.knactor_app import SmartHomeKnactorApp
+from repro.apps.smarthome.pubsub_app import SmartHomePubSubApp
+from repro.apps.smarthome.workload import MotionTrace
+
+__all__ = ["MotionTrace", "SmartHomeKnactorApp", "SmartHomePubSubApp"]

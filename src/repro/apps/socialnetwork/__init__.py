@@ -1,0 +1,13 @@
+"""A DeathStarBench-like social network (API-centric wiring only).
+
+The paper (§2, Problem 2) counts composition scattering in "another
+well-studied social networking app": **36 methods handling API
+invocations across 14 services**.  This package reproduces that app's
+RPC surface so the scattering benchmark can *measure* the count from a
+real service graph rather than quote it.
+"""
+
+from repro.apps.socialnetwork.services import SERVICE_METHODS, build_idls
+from repro.apps.socialnetwork.rpc_app import SocialNetworkRpcApp
+
+__all__ = ["SERVICE_METHODS", "SocialNetworkRpcApp", "build_idls"]

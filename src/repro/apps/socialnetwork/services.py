@@ -1,0 +1,112 @@
+"""Service/method inventory of the social network app.
+
+Mirrors the DeathStarBench socialNetwork service graph: 14 services, 36
+rpc methods.  IDL texts are generated from the inventory (uniform
+request/response messages) and are real inputs to the RPC stack.
+"""
+
+from repro.rpc import parse_idl
+
+#: 14 services, 36 methods -- the numbers the paper reports for this app.
+SERVICE_METHODS = {
+    "UniqueIdService": ["ComposeUniqueId"],
+    "TextService": ["ComposeText"],
+    "UserMentionService": ["ComposeUserMentions"],
+    "UrlShortenService": ["ComposeUrls", "GetExtendedUrls", "RemoveUrls"],
+    "MediaService": ["ComposeMedia", "GetMedia"],
+    "UserService": [
+        "RegisterUser",
+        "RegisterUserWithId",
+        "Login",
+        "ComposeCreatorWithUserId",
+        "GetUserId",
+    ],
+    "ComposePostService": [
+        "UploadText",
+        "UploadMedia",
+        "UploadUniqueId",
+        "UploadCreator",
+        "UploadUrls",
+        "UploadUserMentions",
+    ],
+    "PostStorageService": ["StorePost", "ReadPost", "ReadPosts"],
+    "UserTimelineService": ["WriteUserTimeline", "ReadUserTimeline"],
+    "HomeTimelineService": ["ReadHomeTimeline", "FanoutHomeTimeline"],
+    "SocialGraphService": [
+        "GetFollowers",
+        "GetFollowees",
+        "Follow",
+        "Unfollow",
+        "FollowWithUsername",
+        "UnfollowWithUsername",
+        "InsertUser",
+    ],
+    "MediaFilterService": ["UploadMedia"],
+    "SearchService": ["IndexPost"],
+    "RecommendationService": ["GetRecommendations"],
+}
+
+#: Who calls whom when a post is composed (the fan-out of one user action).
+COMPOSE_POST_CALL_GRAPH = {
+    "ComposePostService": [
+        ("UniqueIdService", "ComposeUniqueId"),
+        ("TextService", "ComposeText"),
+        ("MediaService", "ComposeMedia"),
+        ("UserService", "ComposeCreatorWithUserId"),
+        ("PostStorageService", "StorePost"),
+        ("UserTimelineService", "WriteUserTimeline"),
+        ("HomeTimelineService", "FanoutHomeTimeline"),
+    ],
+    "TextService": [
+        ("UrlShortenService", "ComposeUrls"),
+        ("UserMentionService", "ComposeUserMentions"),
+    ],
+    "HomeTimelineService": [
+        ("SocialGraphService", "GetFollowers"),
+    ],
+}
+
+
+def _proto_for(service, methods):
+    lines = ['syntax = "proto3";', f"package socialnetwork.{service.lower()};", ""]
+    for method in methods:
+        lines += [
+            f"message {method}Request {{",
+            "  string req_id = 1;",
+            "  string payload = 2;",
+            "}",
+            "",
+            f"message {method}Response {{",
+            "  string req_id = 1;",
+            "  string result = 2;",
+            "}",
+            "",
+        ]
+    lines.append(f"service {service} {{")
+    for method in methods:
+        lines.append(
+            f"  rpc {method}({method}Request) returns ({method}Response);"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def proto_texts():
+    """IDL source text per service."""
+    return {
+        service: _proto_for(service, methods)
+        for service, methods in SERVICE_METHODS.items()
+    }
+
+
+def build_idls():
+    """Parsed IDL per service."""
+    return {service: parse_idl(text) for service, text in proto_texts().items()}
+
+
+def total_methods():
+    return sum(len(m) for m in SERVICE_METHODS.values())
+
+
+def total_services():
+    return len(SERVICE_METHODS)

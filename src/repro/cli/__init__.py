@@ -1,0 +1,1 @@
+"""Command-line interface for operating knactors (the paper's CLI)."""

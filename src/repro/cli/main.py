@@ -1,0 +1,209 @@
+"""The ``knactor`` command-line tool.
+
+Subcommands:
+
+- ``knactor demo retail|smarthome``   -- run an example app end-to-end,
+- ``knactor describe retail|smarthome`` -- print the runtime topology
+  (knactors, stores, schemas, grants),
+- ``knactor table1``                  -- regenerate Table 1,
+- ``knactor table2 [--orders N]``     -- regenerate Table 2,
+- ``knactor analyze FILE``            -- statically analyze a DXG file,
+- ``knactor version``.
+"""
+
+import argparse
+import sys
+
+from repro._version import __version__
+
+
+def cmd_version(_args):
+    print(f"knactor {__version__}")
+    return 0
+
+
+def cmd_demo(args):
+    if args.app == "retail":
+        from repro.apps.retail.knactor_app import RetailKnactorApp
+        from repro.apps.retail.workload import OrderWorkload
+        from repro.core.optimizer import PROFILES
+
+        app = RetailKnactorApp.build(profile=PROFILES[args.profile])
+        workload = OrderWorkload(seed=7)
+        for _ in range(args.orders):
+            key, data = workload.next_order()
+            data["email"] = "shopper@example.com"
+            app.env.run(until=app.place_order(key, data))
+        app.run_until_quiet(max_seconds=60.0)
+        for key in app.orders_placed:
+            order = app.env.run(until=app.order(key))["data"]
+            print(
+                f"{key}: status={order['status']} "
+                f"tracking={order.get('trackingID')} "
+                f"shippingCost={order.get('shippingCost')}"
+            )
+        if args.telemetry:
+            import json
+
+            from repro.metrics.telemetry import SLOMonitor, runtime_snapshot
+
+            print("\ntelemetry snapshot:")
+            print(json.dumps(runtime_snapshot(app.runtime), indent=2))
+            monitor = SLOMonitor(
+                "exchange-latency", "retail-cast", target_seconds=0.1
+            )
+            print(monitor.evaluate(app.tracer).describe())
+    else:
+        from repro.apps.smarthome import SmartHomeKnactorApp
+
+        app = SmartHomeKnactorApp.build()
+        app.run(until=130.0)
+        print(f"lamp changes: {len(app.lamp_device.changes)}")
+        print(f"house kWh   : {app.house.kwh_total:.6f}")
+        [report] = app.env.run(until=app.energy_report())
+        print(f"analytics   : {report}")
+    return 0
+
+
+def cmd_describe(args):
+    if args.app == "retail":
+        from repro.apps.retail.knactor_app import RetailKnactorApp
+        from repro.core.optimizer import K_REDIS
+
+        app = RetailKnactorApp.build(profile=K_REDIS)
+        print(app.runtime.describe())
+    else:
+        from repro.apps.smarthome import SmartHomeKnactorApp
+
+        app = SmartHomeKnactorApp.build()
+        print(app.runtime.describe())
+    return 0
+
+
+def cmd_table1(_args):
+    from repro.apps.retail.tasks import all_tasks
+    from repro.metrics.report import Table
+
+    table = Table(
+        ["Task", "API ops", "KN ops", "API files", "KN files",
+         "API SLOC", "KN SLOC"],
+        title="Table 1: composition cost",
+    )
+    for comparison in all_tasks():
+        table.add_row(*comparison.row())
+    print(table.render())
+    return 0
+
+
+def cmd_table2(args):
+    from repro.apps.retail.measure import run_knactor_setup, run_rpc_setup
+    from repro.metrics.report import Table
+
+    stages = ("C-I", "I", "I-S", "S", "Prop.", "Total")
+    table = Table(["Setup"] + list(stages),
+                  title=f"Table 2: latency breakdown (ms, {args.orders} requests)")
+    breakdowns = {"RPC": run_rpc_setup(orders=args.orders)}
+    for setup in ("K-apiserver", "K-redis", "K-redis-udf"):
+        breakdowns[setup] = run_knactor_setup(setup, orders=args.orders)
+    for name, bd in breakdowns.items():
+        row = bd.row()
+        table.add_row(
+            name,
+            *[None if row[s] is None else round(row[s], 2) for s in stages],
+        )
+    print(table.render())
+    return 0
+
+
+def cmd_analyze(args):
+    from repro.core.dxg import analyze, parse_dxg, standard_functions
+    from repro.core.dxg.planner import plan
+
+    try:
+        with open(args.file) as f:
+            text = f.read()
+        spec = parse_dxg(text)
+    except Exception as exc:  # surfaced to the user, not a traceback
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    report = analyze(spec, functions=standard_functions())
+    print(f"inputs     : {', '.join(sorted(spec.aliases))}")
+    print(f"assignments: {len(spec.assignments)}")
+    for assignment in spec.assignments:
+        print(f"  {assignment.describe()}")
+    print(f"analysis   : {report.summary()}")
+    print(plan(spec).describe())
+    return 0 if report.ok else 1
+
+
+def cmd_trace(args):
+    import json
+
+    from repro.apps.retail.knactor_app import RetailKnactorApp
+    from repro.apps.retail.workload import OrderWorkload
+    from repro.core.optimizer import PROFILES
+
+    app = RetailKnactorApp.build(profile=PROFILES[args.profile])
+    workload = OrderWorkload(seed=7)
+    for _ in range(args.orders):
+        key, data = workload.next_order()
+        app.env.run(until=app.place_order(key, data))
+    app.run_until_quiet(max_seconds=60.0)
+    entries = app.tracer.to_chrome_trace()
+    with open(args.output, "w") as f:
+        json.dump({"traceEvents": entries}, f)
+    print(f"wrote {len(entries)} trace events to {args.output}")
+    print("open chrome://tracing (or https://ui.perfetto.dev) to view")
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="knactor", description="Knactor framework CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("version").set_defaults(fn=cmd_version)
+
+    demo = sub.add_parser("demo", help="run an example app")
+    demo.add_argument("app", choices=["retail", "smarthome"])
+    demo.add_argument("--profile", default="K-redis",
+                      choices=["K-apiserver", "K-redis", "K-redis-udf"])
+    demo.add_argument("--orders", type=int, default=3)
+    demo.add_argument("--telemetry", action="store_true",
+                      help="print a runtime snapshot and SLO report (retail)")
+    demo.set_defaults(fn=cmd_demo)
+
+    describe = sub.add_parser("describe", help="print runtime topology")
+    describe.add_argument("app", choices=["retail", "smarthome"])
+    describe.set_defaults(fn=cmd_describe)
+
+    sub.add_parser("table1", help="regenerate Table 1").set_defaults(fn=cmd_table1)
+
+    table2 = sub.add_parser("table2", help="regenerate Table 2")
+    table2.add_argument("--orders", type=int, default=10)
+    table2.set_defaults(fn=cmd_table2)
+
+    analyze = sub.add_parser("analyze", help="statically analyze a DXG file")
+    analyze.add_argument("file")
+    analyze.set_defaults(fn=cmd_analyze)
+
+    trace = sub.add_parser(
+        "trace", help="run a retail demo and export a Chrome trace JSON"
+    )
+    trace.add_argument("output", help="path for the trace JSON file")
+    trace.add_argument("--orders", type=int, default=2)
+    trace.add_argument("--profile", default="K-redis",
+                       choices=["K-apiserver", "K-redis", "K-redis-udf"])
+    trace.set_defaults(fn=cmd_trace)
+
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""A miniature Kubernetes-like deployment model.
+
+Table 1's API-centric rows carry ``b`` (rebuild service) and ``d``
+(redeploy service) operations; §2 notes that schema adaptation requires
+"recompiling C, updating and uploading its container images, and
+redeploying C using a rolling update in Kubernetes".  This package makes
+those operations concrete and timeable:
+
+- :mod:`objects`   -- images, deployments, pods, nodes,
+- :mod:`registry`  -- build + push cost model for container images,
+- :mod:`scheduler` -- pod placement over nodes with capacity,
+- :mod:`rollout`   -- rolling updates with availability accounting.
+"""
+
+from repro.cluster.objects import Deployment, Image, Node, Pod, PodPhase
+from repro.cluster.registry import BuildResult, ImageRegistry
+from repro.cluster.scheduler import Cluster
+from repro.cluster.rollout import RolloutResult, rolling_update
+from repro.cluster.autoscaler import HorizontalAutoscaler, ScalingEvent
+
+__all__ = [
+    "BuildResult",
+    "Cluster",
+    "HorizontalAutoscaler",
+    "ScalingEvent",
+    "Deployment",
+    "Image",
+    "ImageRegistry",
+    "Node",
+    "Pod",
+    "PodPhase",
+    "RolloutResult",
+    "rolling_update",
+]

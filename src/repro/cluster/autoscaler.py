@@ -1,0 +1,95 @@
+"""Horizontal autoscaling for deployments (paper §5).
+
+"Deployment issues such as load balancing, autoscaling, and observability
+[...] are also worth exploring."  A :class:`HorizontalAutoscaler>`
+periodically samples a load metric for one deployment (a callable --
+e.g. requests in flight, reconciler queue depth) and scales the replica
+count toward ``target_load_per_replica``, bounded by min/max, with a
+cooldown to avoid flapping.
+"""
+
+from dataclasses import dataclass, field
+import math
+
+from repro.errors import ClusterError
+
+
+@dataclass
+class ScalingEvent:
+    time: float
+    deployment: str
+    from_replicas: int
+    to_replicas: int
+    load: float
+
+
+@dataclass
+class HorizontalAutoscaler:
+    """Scales one deployment to keep load-per-replica near the target."""
+
+    cluster: object
+    deployment_name: str
+    metric: object  # callable() -> current total load
+    target_load_per_replica: float
+    min_replicas: int = 1
+    max_replicas: int = 10
+    interval: float = 5.0
+    cooldown: float = 10.0
+    events: list = field(default_factory=list)
+    _running: bool = field(default=False, repr=False)
+    _last_scaled: float = field(default=-math.inf, repr=False)
+
+    def __post_init__(self):
+        if self.target_load_per_replica <= 0:
+            raise ClusterError("target_load_per_replica must be positive")
+        if not 1 <= self.min_replicas <= self.max_replicas:
+            raise ClusterError("need 1 <= min_replicas <= max_replicas")
+        if self.interval <= 0 or self.cooldown < 0:
+            raise ClusterError("invalid interval/cooldown")
+
+    def desired_replicas(self, load, current):
+        """The standard HPA formula: ceil(load / target), clamped."""
+        if load <= 0:
+            raw = self.min_replicas
+        else:
+            raw = math.ceil(load / self.target_load_per_replica)
+        return max(self.min_replicas, min(self.max_replicas, raw))
+
+    def start(self):
+        if self._running:
+            return None
+        self._running = True
+        return self.cluster.env.process(self._run(self.cluster.env))
+
+    def stop(self):
+        self._running = False
+
+    def _run(self, env):
+        while self._running:
+            yield env.timeout(self.interval)
+            if not self._running:
+                return
+            yield env.process(self.reconcile_once(env))
+
+    def reconcile_once(self, env):
+        """One scaling decision (exposed for tests/benches)."""
+        deployment = self.cluster.deployment(self.deployment_name)
+        current = len(deployment.ready_pods)
+        load = float(self.metric())
+        desired = self.desired_replicas(load, current)
+        if desired == current:
+            return
+        if env.now - self._last_scaled < self.cooldown:
+            return
+        self._last_scaled = env.now
+        self.events.append(
+            ScalingEvent(env.now, self.deployment_name, current, desired, load)
+        )
+        if desired > current:
+            for _ in range(desired - current):
+                yield self.cluster.start_pod(deployment, deployment.image)
+        else:
+            victims = deployment.ready_pods[desired:]
+            for pod in victims:
+                yield self.cluster.stop_pod(pod)
+        deployment.replicas = desired

@@ -1,0 +1,61 @@
+"""Image build + push cost model.
+
+A composition change in the API-centric approach forces an image rebuild
+and registry push before redeployment.  The model:
+
+- build time = base + per-SLOC compile cost (bigger services build
+  slower),
+- push time = image size / uplink bandwidth,
+- layer caching: pushing a tag whose name was pushed before only uploads
+  the changed layers (a fraction of the image).
+"""
+
+from dataclasses import dataclass
+
+from repro.errors import ClusterError
+
+
+@dataclass
+class BuildResult:
+    image: object
+    build_seconds: float
+    push_seconds: float
+
+    @property
+    def total_seconds(self):
+        return self.build_seconds + self.push_seconds
+
+
+class ImageRegistry:
+    """Builds and stores image tags; costs virtual time."""
+
+    build_base_seconds = 25.0
+    build_per_sloc = 0.02
+    uplink_mb_per_second = 40.0
+    cached_layer_fraction = 0.15  # changed layers vs full image
+
+    def __init__(self, env):
+        self.env = env
+        self._pushed = {}  # image name -> set of tags
+        self.builds = []
+
+    def build_and_push(self, image, service_sloc=1000):
+        """Build + push; returns a process event with the BuildResult."""
+        if service_sloc < 0:
+            raise ClusterError("service_sloc must be non-negative")
+        return self.env.process(self._build_and_push(image, service_sloc))
+
+    def _build_and_push(self, image, service_sloc):
+        build_seconds = self.build_base_seconds + self.build_per_sloc * service_sloc
+        yield self.env.timeout(build_seconds)
+        cached = image.name in self._pushed
+        upload_mb = image.size_mb * (self.cached_layer_fraction if cached else 1.0)
+        push_seconds = upload_mb / self.uplink_mb_per_second
+        yield self.env.timeout(push_seconds)
+        self._pushed.setdefault(image.name, set()).add(image.tag)
+        result = BuildResult(image, build_seconds, push_seconds)
+        self.builds.append(result)
+        return result
+
+    def has(self, image):
+        return image.tag in self._pushed.get(image.name, set())

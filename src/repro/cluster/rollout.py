@@ -1,0 +1,85 @@
+"""Rolling updates with availability accounting.
+
+"This further leads to rebuilding and redeploying services, which also
+requires careful planning in the production environment to avoid
+application downtime" (paper §2).  :func:`rolling_update` replaces a
+deployment's pods with a new image, ``max_unavailable`` at a time, and
+records whether the service ever lost all ready replicas.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.errors import ClusterError
+
+
+@dataclass
+class RolloutResult:
+    """Outcome of one rolling update."""
+
+    deployment: str
+    new_image: str
+    started_at: float
+    finished_at: float
+    pods_replaced: int
+    had_downtime: bool
+    timeline: list = field(default_factory=list)  # (time, event) pairs
+
+    @property
+    def duration(self):
+        return self.finished_at - self.started_at
+
+
+def rolling_update(cluster, deployment_name, new_image, max_unavailable=1):
+    """Perform a rolling update; returns a process event (RolloutResult).
+
+    Surge strategy: start a new pod first, then stop an old one, keeping
+    at least ``replicas - max_unavailable`` ready pods at all times.
+    """
+    if max_unavailable < 1:
+        raise ClusterError("max_unavailable must be >= 1")
+    return cluster.env.process(
+        _rolling_update(cluster, deployment_name, new_image, max_unavailable)
+    )
+
+
+def _rolling_update(cluster, deployment_name, new_image, max_unavailable):
+    env = cluster.env
+    deployment = cluster.deployment(deployment_name)
+    old_pods = [p for p in deployment.pods if p.image.ref != new_image.ref]
+    started_at = env.now
+    timeline = [(env.now, f"rollout to {new_image.ref} started")]
+    had_downtime = not deployment.available
+    replaced = 0
+
+    # Replace in waves of max_unavailable using surge (up then down).
+    pending = list(old_pods)
+    while pending:
+        wave = pending[: max_unavailable]
+        pending = pending[max_unavailable :]
+        new_pod_events = [
+            cluster.start_pod(deployment, new_image) for _ in wave
+        ]
+        for event in new_pod_events:
+            pod = yield event
+            timeline.append((env.now, f"started {pod.name}"))
+        if not deployment.available:
+            had_downtime = True
+        for old_pod in wave:
+            yield cluster.stop_pod(old_pod)
+            timeline.append((env.now, f"stopped {old_pod.name}"))
+            if not deployment.available:
+                had_downtime = True
+        replaced += len(wave)
+
+    deployment.image = new_image
+    deployment.generation += 1
+    timeline.append((env.now, "rollout complete"))
+    return RolloutResult(
+        deployment=deployment_name,
+        new_image=new_image.ref,
+        started_at=started_at,
+        finished_at=env.now,
+        pods_replaced=replaced,
+        had_downtime=had_downtime,
+        timeline=timeline,
+    )

@@ -1,0 +1,84 @@
+"""Pod scheduling and the cluster facade."""
+
+from repro.cluster.objects import Deployment, Node, Pod, PodPhase
+from repro.errors import ClusterError
+
+
+class Cluster:
+    """Nodes + deployments + a least-loaded scheduler.
+
+    Timing model: container image pull (size / node bandwidth, skipped
+    when cached on the node) plus application startup time.
+    """
+
+    pull_mb_per_second = 80.0
+    pod_startup_seconds = 2.0
+    pod_stop_seconds = 1.0
+
+    def __init__(self, env, nodes=None):
+        self.env = env
+        self.nodes = list(nodes) if nodes else [Node("node-1"), Node("node-2")]
+        self.deployments = {}
+        self._node_image_cache = {n.name: set() for n in self.nodes}
+
+    # -- deployments ------------------------------------------------------------
+
+    def create_deployment(self, name, image, replicas=2):
+        if name in self.deployments:
+            raise ClusterError(f"deployment {name!r} already exists")
+        deployment = Deployment(name, image, replicas)
+        self.deployments[name] = deployment
+        return self.env.process(self._scale_up(deployment, replicas, image))
+
+    def deployment(self, name):
+        try:
+            return self.deployments[name]
+        except KeyError:
+            raise ClusterError(f"no deployment named {name!r}") from None
+
+    # -- pod lifecycle -------------------------------------------------------------
+
+    def start_pod(self, deployment, image):
+        """Schedule + start one pod; returns a process event with the Pod."""
+        return self.env.process(self._start_pod(deployment, image))
+
+    def _start_pod(self, deployment, image):
+        node = self._pick_node()
+        pod = Pod(deployment=deployment.name, image=image, node=node.name)
+        node.pods.append(pod)
+        deployment.pods.append(pod)
+        if image.ref not in self._node_image_cache[node.name]:
+            yield self.env.timeout(image.size_mb / self.pull_mb_per_second)
+            self._node_image_cache[node.name].add(image.ref)
+        yield self.env.timeout(self.pod_startup_seconds)
+        pod.phase = PodPhase.RUNNING
+        pod.started_at = self.env.now
+        return pod
+
+    def stop_pod(self, pod):
+        """Gracefully terminate one pod; returns a process event."""
+        return self.env.process(self._stop_pod(pod))
+
+    def _stop_pod(self, pod):
+        pod.phase = PodPhase.TERMINATING
+        yield self.env.timeout(self.pod_stop_seconds)
+        pod.phase = PodPhase.TERMINATED
+        for node in self.nodes:
+            if pod in node.pods:
+                node.pods.remove(pod)
+        deployment = self.deployments.get(pod.deployment)
+        if deployment and pod in deployment.pods:
+            deployment.pods.remove(pod)
+
+    def _scale_up(self, deployment, count, image):
+        pods = []
+        for _ in range(count):
+            pod = yield self.start_pod(deployment, image)
+            pods.append(pod)
+        return pods
+
+    def _pick_node(self):
+        candidates = [n for n in self.nodes if n.free > 0]
+        if not candidates:
+            raise ClusterError("no schedulable node (all at capacity)")
+        return min(candidates, key=lambda n: len(n.pods))

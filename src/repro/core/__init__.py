@@ -1,0 +1,50 @@
+"""The Knactor framework core (the paper's primary contribution).
+
+- :class:`Knactor` -- the service abstraction: a reconciler plus one or
+  more data stores hosted on Data Exchanges,
+- :class:`Reconciler` -- level-triggered control loop over a knactor's own
+  data store(s) (and only its own: composition lives elsewhere),
+- :class:`Integrator` / :class:`Cast` / :class:`Sync` -- the composition
+  modules that process and sync states *between* stores,
+- :class:`KnactorRuntime` -- hosts knactors and integrators on a shared
+  simulation environment and wires them to the DEs,
+- :mod:`repro.core.dxg` -- the Cast integrator's declarative language,
+- :mod:`repro.core.dataflow` -- fluent builder for Sync pipelines,
+- :mod:`repro.core.policy` -- data-centric policy helpers,
+- :mod:`repro.core.optimizer` -- the §3.3 optimization toggles.
+"""
+
+from repro.core.adapter import RpcAdapterReconciler
+from repro.core.catalog import Catalog, CompatibilityReport, IntegratorPackage
+from repro.core.integrator import Integrator
+from repro.core.knactor import Knactor, StoreBinding
+from repro.core.reconciler import Reconciler, ReconcilerContext
+from repro.core.runtime import KnactorRuntime
+from repro.core.cast import Cast
+from repro.core.rollup import Rollup, RollupRule
+from repro.core.sync import Flow, Sync
+from repro.core.dataflow import Pipeline
+from repro.core.policy import TimeWindowCondition, deny_during
+from repro.core.optimizer import OptimizationProfile
+
+__all__ = [
+    "Cast",
+    "Catalog",
+    "CompatibilityReport",
+    "Flow",
+    "IntegratorPackage",
+    "Integrator",
+    "Knactor",
+    "KnactorRuntime",
+    "OptimizationProfile",
+    "Pipeline",
+    "Reconciler",
+    "ReconcilerContext",
+    "Rollup",
+    "RollupRule",
+    "RpcAdapterReconciler",
+    "StoreBinding",
+    "Sync",
+    "TimeWindowCondition",
+    "deny_during",
+]

@@ -1,0 +1,336 @@
+"""Cast: the built-in integrator for Object exchanges, driven by a DXG.
+
+Cast watches every store its DXG involves; when any object changes it runs
+the data exchange for that object's correlation id (fixpoint evaluation,
+see :mod:`repro.core.dxg.executor`).  Reconfiguration swaps the DXG in
+place -- running services are untouched.
+
+Push-down (paper §3.3 / Table 2's ``K-redis-udf``): with a UDF-capable
+backend, Cast registers the whole exchange as a server-side function and
+issues a single ``fcall`` per change instead of N reads + M writes.
+"""
+
+from collections import OrderedDict
+
+from repro.errors import AccessDeniedError, ConfigurationError, DXGError
+from repro.core.dxg import DXGExecutor, analyze, parse_dxg, standard_functions
+from repro.core.dxg.executor import ExecutorOptions
+from repro.core.dxg.parser import DXGSpec, build_spec
+from repro.core.integrator import Integrator
+from repro.store.memkv import MemKVClient
+
+
+class Cast(Integrator):
+    """DXG-driven integrator over an Object Data Exchange."""
+
+    #: Simulated integrator CPU time per assignment per exchange.
+    compute_cost_per_assignment = 5e-6
+
+    def __init__(
+        self,
+        name,
+        spec,
+        de="object",
+        functions=None,
+        options=None,
+        creatable_targets=None,
+        pushdown=False,
+        store_map=None,
+        location=None,
+        workers=1,
+    ):
+        super().__init__(name)
+        if workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        self.workers = workers
+        self._initial_spec = spec
+        self.de_name = de
+        self.functions = functions if functions is not None else standard_functions()
+        self.options = options or ExecutorOptions()
+        self.creatable_targets = creatable_targets
+        self.pushdown = pushdown
+        self.store_map = dict(store_map) if store_map else None
+        self.location = location or name
+        self.executor = None
+        self.analysis = None
+        self._inputs = None
+        self._body = None
+        self._extra_kinds = {}
+        self._globals = {}
+        self._watches = []
+        self._queue = OrderedDict()
+        self._wakeups = []
+        self._workers = []
+        self._in_flight = set()
+        self._seen_cids = set()
+        self._udf_name = None
+        self._udf_client = None
+        self.exchanges_run = 0
+        self.denied = 0
+        self.errors = 0
+
+    # -- configuration ------------------------------------------------------------
+
+    def _on_bind(self):
+        self._apply_configuration(self._initial_spec)
+
+    def _apply_configuration(self, spec=None, body=None):
+        """(Re)build the executor from a spec (text / DXGSpec) or a body.
+
+        ``body`` is the programmatic form: ``{target: {field: expr}}``,
+        merged over the current body (None removes a field) -- this is how
+        run-time policy additions work (e.g. T2's shipment-method policy).
+        """
+        if spec is not None and body is not None:
+            raise ConfigurationError("pass either spec or body, not both")
+        if spec is not None:
+            if isinstance(spec, str):
+                spec = parse_dxg(spec)
+            if not isinstance(spec, DXGSpec):
+                raise ConfigurationError(f"bad spec {spec!r}")
+            self._inputs = dict(spec.inputs)
+            self._globals = dict(spec.globals_)
+            self._body = self._body_of(spec)
+            # Preserve source-only kinds for later body-based rebuilds.
+            target_kinds = {
+                (a.target_alias, a.target_kind) for a in spec.assignments
+            }
+            self._extra_kinds = {}
+            for a in spec.assignments:
+                for ref in a.sources:
+                    if ref.kind and (ref.alias, ref.kind) not in target_kinds:
+                        self._extra_kinds.setdefault(ref.alias, set()).add(ref.kind)
+        else:
+            if self._body is None:
+                raise ConfigurationError("no existing spec to amend")
+            merged = {t: dict(fields) for t, fields in self._body.items()}
+            for target, fields in (body or {}).items():
+                slot = merged.setdefault(target, {})
+                for field_name, expr in fields.items():
+                    if expr is None:
+                        slot.pop(field_name, None)
+                    else:
+                        slot[field_name] = expr
+                if not slot:
+                    del merged[target]
+            spec = build_spec(
+                self._inputs, merged,
+                extra_kinds={a: sorted(k) for a, k in self._extra_kinds.items()},
+                globals_=self._globals,
+            )
+            self._body = merged
+
+        de = self.runtime.exchange(self.de_name)
+        store_names = {
+            alias: self._store_name(alias, ref)
+            for alias, ref in spec.inputs.items()
+        }
+        schemas = {
+            alias: de.schema_for(store_name)
+            for alias, store_name in store_names.items()
+        }
+        self.analysis = analyze(spec, functions=self.functions, schemas=schemas)
+        self.analysis.raise_if_invalid()
+        handles = {
+            alias: de.handle(store_name, principal=self.name, location=self.location)
+            for alias, store_name in store_names.items()
+        }
+        self.executor = DXGExecutor(
+            self.runtime.env,
+            spec,
+            handles,
+            functions=self.functions,
+            options=self.options,
+            creatable_targets=self.creatable_targets,
+            tracer=self.runtime.tracer,
+        )
+        self._store_names = store_names
+        if self.pushdown:
+            self._install_pushdown(de)
+        if self.started:
+            self._rewire_watches()
+        return f"dxg with {len(spec.assignments)} assignment(s)"
+
+    @staticmethod
+    def _body_of(spec):
+        body = {}
+        for a in spec.assignments:
+            target = f"{a.target_alias}.{a.target_kind}" if a.target_kind else a.target_alias
+            body.setdefault(target, {})[a.field] = a.expression.source
+        return body
+
+    def _store_name(self, alias, ref):
+        if self.store_map and alias in self.store_map:
+            return self.store_map[alias]
+        # Convention: the input reference's last component names the store.
+        return ref.rsplit("/", 1)[-1]
+
+    def _install_pushdown(self, de):
+        if not getattr(de, "supports_udf", False):
+            raise ConfigurationError(
+                f"integrator {self.name!r}: push-down requires a "
+                "UDF-capable backend (MemKV)"
+            )
+        prefixes = {
+            alias: de.store(store_name).key_prefix
+            for alias, store_name in self._store_names.items()
+        }
+        self._udf_name = f"dxg:{self.name}:g{self.generation + 1}"
+        de.backend.functions.register(
+            self._udf_name,
+            self.executor.as_udf(prefixes),
+            cost=self.executor.udf_cost,
+        )
+        self._udf_client = MemKVClient(de.backend, location=self.location)
+
+    # -- convenience reconfiguration API ----------------------------------------------
+
+    def set_assignment(self, target, field, expression):
+        """Add/replace one assignment at run time (a data-centric policy)."""
+        return self.reconfigure(body={target: {field: expression}})
+
+    def remove_assignment(self, target, field):
+        return self.reconfigure(body={target: {field: None}})
+
+    # -- lifecycle ------------------------------------------------------------------------
+
+    def _on_start(self):
+        self._rewire_watches()
+        env = self.runtime.env
+        self._workers = [
+            env.process(self._work_loop(env)) for _ in range(self.workers)
+        ]
+
+    def _on_stop(self):
+        for watch in self._watches:
+            watch.cancel()
+        self._watches = []
+        self._kick()
+
+    def _rewire_watches(self):
+        for watch in self._watches:
+            watch.cancel()
+        self._watches = []
+        for alias, handle in self.executor.handles.items():
+            self._watches.append(
+                handle.watch(self._make_handler(alias),
+                             on_close=self._on_watch_lost)
+            )
+
+    def _on_watch_lost(self):
+        """Backend failover: re-watch everything, resync every group."""
+        if not self.started:
+            return
+        self.runtime.tracer.record("cast", "watch-lost", integrator=self.name)
+        self._rewire_watches()
+        for cid in sorted(self._seen_cids):
+            self._queue[cid] = True
+        self._kick()
+
+    def _make_handler(self, alias):
+        def handler(event):
+            kind, cid = DXGExecutor.split_key(event.key)
+            self.runtime.tracer.record(
+                "cast", "event", integrator=self.name, alias=alias,
+                kind=kind, cid=cid, type=event.type,
+            )
+            self.executor.update_cache(
+                alias, kind, cid, None if event.type == "DELETED" else event.object
+            )
+            if self.executor.is_global(alias):
+                # A lookup object changed: every known exchange group may
+                # derive different values now.  Sorted: deterministic.
+                for seen_cid in sorted(self._seen_cids):
+                    self._queue[seen_cid] = True
+            else:
+                self._seen_cids.add(cid)
+                self._queue[cid] = True
+            self._kick()
+
+        return handler
+
+    def _kick(self):
+        pending, self._wakeups = self._wakeups, []
+        for wakeup in pending:
+            if not wakeup.triggered:
+                wakeup.succeed()
+
+    # -- the exchange loop ----------------------------------------------------------------
+
+    def _work_loop(self, env):
+        while self.started:
+            cid = self._next_cid()
+            if cid is None:
+                wakeup = env.event()
+                self._wakeups.append(wakeup)
+                yield wakeup
+                continue
+            self._in_flight.add(cid)
+            try:
+                yield env.process(self._process(env, cid))
+            finally:
+                self._in_flight.discard(cid)
+                self._kick()  # a worker may be waiting on this cid
+
+    def _next_cid(self):
+        """Pop the first queued cid that is not already being processed.
+
+        Per-cid execution stays serial even with multiple workers: two
+        concurrent exchanges for one correlation id would race their
+        read-compute-write cycles.
+        """
+        for cid in self._queue:
+            if cid not in self._in_flight:
+                del self._queue[cid]
+                return cid
+        return None
+
+    def _process(self, env, cid):
+        tracer = self.runtime.tracer
+        tracer.record("cast", "begin", integrator=self.name, cid=cid)
+        compute = self.compute_cost_per_assignment * len(
+            self.executor.spec.assignments
+        )
+        if not self.pushdown and compute > 0:
+            yield env.timeout(compute)
+        tracer.record("cast", "writes.begin", integrator=self.name, cid=cid)
+        try:
+            if self.pushdown:
+                yield self._udf_client.fcall(self._udf_name, cid)
+            else:
+                yield self.executor.exchange(cid)
+        except AccessDeniedError as exc:
+            # A run-time access policy (e.g. sleep hours) vetoed this
+            # exchange.  That is policy working, not a crash: count it and
+            # move on; a later event will retry the cid.
+            self.denied += 1
+            tracer.record(
+                "cast", "denied", integrator=self.name, cid=cid,
+                reason=str(exc),
+            )
+            return
+        except DXGError as exc:
+            # Value-level divergence (non-quiescence) on this cid: record
+            # it and keep the integrator alive for other exchanges.
+            self.errors += 1
+            tracer.record(
+                "cast", "error", integrator=self.name, cid=cid,
+                reason=str(exc),
+            )
+            return
+        self.exchanges_run += 1
+        tracer.record("cast", "end", integrator=self.name, cid=cid)
+
+    def status(self):
+        base = super().status()
+        base.update(
+            {
+                "exchanges_run": self.exchanges_run,
+                "pushdown": self.pushdown,
+                "assignments": len(self.executor.spec.assignments)
+                if self.executor
+                else 0,
+                "warnings": list(self.analysis.warnings) if self.analysis else [],
+            }
+        )
+        return base

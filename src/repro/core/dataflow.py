@@ -1,0 +1,75 @@
+"""Fluent builder for Sync dataflow pipelines.
+
+"the Sync integrator offers dataflow operators like filter, rename, sort,
+and aggregation functions" (paper §3.2).  A :class:`Pipeline` builds the
+operator-spec list executed by the Log store's query engine
+(:mod:`repro.store.zql`)::
+
+    ops = (Pipeline()
+           .filter("triggered == True")
+           .rename("triggered", "motion")
+           .cut("motion", "_ts")
+           .build())
+"""
+
+from repro.store.zql import compile_query
+
+
+class Pipeline:
+    """Accumulates operator specs; immutable build output."""
+
+    def __init__(self, ops=None):
+        self._ops = list(ops or [])
+
+    def _with(self, spec):
+        return Pipeline(self._ops + [spec])
+
+    def filter(self, expr):
+        """Keep records where ``expr`` evaluates truthy."""
+        return self._with({"op": "filter", "expr": expr})
+
+    def rename(self, src, dst):
+        """Rename field ``src`` to ``dst``."""
+        return self._with({"op": "rename", "from": src, "to": dst})
+
+    def cut(self, *fields):
+        """Keep only the named fields."""
+        return self._with({"op": "cut", "fields": list(fields)})
+
+    def drop(self, *fields):
+        """Remove the named fields."""
+        return self._with({"op": "drop", "fields": list(fields)})
+
+    def derive(self, field, expr):
+        """Add/replace ``field`` computed from ``expr``."""
+        return self._with({"op": "derive", "field": field, "expr": expr})
+
+    def sort(self, by, reverse=False):
+        return self._with({"op": "sort", "by": by, "reverse": reverse})
+
+    def head(self, count):
+        return self._with({"op": "head", "count": count})
+
+    def tail(self, count):
+        return self._with({"op": "tail", "count": count})
+
+    def distinct(self, field):
+        return self._with({"op": "distinct", "field": field})
+
+    def agg(self, by=None, **aggs):
+        """Aggregate: ``agg(by=["room"], total="sum(kwh)")``."""
+        spec = {"op": "agg", "aggs": dict(aggs)}
+        if by:
+            spec["by"] = list(by)
+        return self._with(spec)
+
+    def build(self):
+        """The operator-spec list (validated by compiling once)."""
+        compile_query(self._ops)
+        return list(self._ops)
+
+    def __len__(self):
+        return len(self._ops)
+
+    def __repr__(self):
+        return f"<Pipeline {self._ops!r}>"

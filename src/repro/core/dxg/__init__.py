@@ -1,0 +1,43 @@
+"""Data Exchange Graphs (DXG): the Cast integrator's specification language.
+
+A DXG (paper Fig. 6) declaratively describes data exchanges among multiple
+services' data stores: which target fields are filled from which source
+fields, through which transformation expressions, under which data-centric
+policies.  The sub-modules:
+
+- :mod:`parser`    -- parse the YAML-subset spec into a :class:`DXGSpec`,
+- :mod:`graph`     -- the field-level dependency graph,
+- :mod:`analysis`  -- static analysis: cycle detection, unused-state
+  detection, schema conformance (writes must target ``+kr: external``),
+- :mod:`functions` -- the transformation-function registry
+  (``currency_convert`` and friends),
+- :mod:`planner`   -- execution planning: evaluation order and operation
+  consolidation (one patch per target object, not one per field),
+- :mod:`executor`  -- the runtime that evaluates assignments against DE
+  handles, with optional push-down to UDF-capable backends.
+"""
+
+from repro.core.dxg.parser import Assignment, DXGSpec, Reference, parse_dxg
+from repro.core.dxg.graph import DependencyGraph
+from repro.core.dxg.analysis import AnalysisReport, analyze
+from repro.core.dxg.functions import FunctionRegistry, standard_functions
+from repro.core.dxg.planner import ExecutionPlan, plan
+from repro.core.dxg.executor import DXGExecutor
+from repro.core.dxg.verify import ConfluenceReport, check_confluence
+
+__all__ = [
+    "AnalysisReport",
+    "ConfluenceReport",
+    "check_confluence",
+    "Assignment",
+    "DXGExecutor",
+    "DXGSpec",
+    "DependencyGraph",
+    "ExecutionPlan",
+    "FunctionRegistry",
+    "Reference",
+    "analyze",
+    "parse_dxg",
+    "plan",
+    "standard_functions",
+]

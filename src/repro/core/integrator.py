@@ -1,0 +1,90 @@
+"""Integrator base class: lifecycle and run-time reconfiguration.
+
+"Integrators, such as Cast and Sync, can be dynamically reconfigured at
+run-time to add new composition logic or modify existing configurations.
+This avoids service-level code changes, rebuilding, and redeployment for
+each composition update." (paper §3.3)
+
+The base class tracks a *generation* counter bumped on every successful
+reconfiguration, and a reconfiguration history -- the observable artifact
+the composition-cost benchmark counts (a Knactor composition change is one
+``reconfigure()`` against a running integrator, zero service rebuilds).
+"""
+
+from repro.errors import ConfigurationError
+
+
+class Integrator:
+    """Base class for composition modules."""
+
+    def __init__(self, name):
+        if not name:
+            raise ConfigurationError("integrator name must be non-empty")
+        self.name = name
+        self.runtime = None
+        self.started = False
+        self.generation = 0
+        self.reconfigurations = []  # (time, description)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def bind(self, runtime):
+        """Attach to a runtime (resolve stores, run static analysis)."""
+        self.runtime = runtime
+        self._on_bind()
+        return self
+
+    def start(self):
+        if self.runtime is None:
+            raise ConfigurationError(f"integrator {self.name!r} is not bound")
+        if self.started:
+            return
+        self.started = True
+        self._on_start()
+
+    def stop(self):
+        if not self.started:
+            return
+        self.started = False
+        self._on_stop()
+
+    # -- reconfiguration ---------------------------------------------------------
+
+    def reconfigure(self, *args, **kwargs):
+        """Swap in new composition logic without touching any service.
+
+        Subclasses implement ``_apply_configuration``; on success the
+        generation is bumped and the change recorded.  Works both before
+        and after ``start()`` -- that is the point.
+        """
+        description = self._apply_configuration(*args, **kwargs)
+        self.generation += 1
+        when = self.runtime.env.now if self.runtime is not None else 0.0
+        self.reconfigurations.append((when, description or "reconfigured"))
+        return self.generation
+
+    # -- subclass hooks -------------------------------------------------------------
+
+    def _on_bind(self):
+        pass
+
+    def _on_start(self):
+        pass
+
+    def _on_stop(self):
+        pass
+
+    def _apply_configuration(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def status(self):
+        return {
+            "name": self.name,
+            "started": self.started,
+            "generation": self.generation,
+            "reconfigurations": len(self.reconfigurations),
+        }
+
+    def __repr__(self):
+        state = "started" if self.started else "stopped"
+        return f"<{type(self).__name__} {self.name} {state} gen={self.generation}>"

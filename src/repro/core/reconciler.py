@@ -1,0 +1,252 @@
+"""Reconcilers: a knactor's control loop over its own data store.
+
+"The reconciler is a code module that interacts with the knactor's data
+store(s) using the state access methods provided by the DE.  It responds
+to state updates from the data store and initiates corresponding actions."
+(paper §3.2)
+
+The loop is **level-triggered** with a per-key work queue, like Kubernetes
+controllers: watch events mark a key dirty; a single worker drains the
+queue, re-reading current state and calling ``reconcile``.  Conflicting
+writes (optimistic-concurrency failures) requeue the key with backoff.
+
+Crucially -- and this is the Knactor pattern -- a reconciler only ever
+touches *its own* store handles.  It has no client stubs, no topics, no
+knowledge of other services.
+"""
+
+from collections import OrderedDict
+
+from repro.errors import ConfigurationError, ConflictError, NotFoundError
+
+
+class ReconcilerContext:
+    """What a reconciler may touch: its knactor's own store handles."""
+
+    def __init__(self, env, knactor_name, handles, tracer=None):
+        self.env = env
+        self.knactor_name = knactor_name
+        self.stores = dict(handles)  # local_name -> handle
+        self.tracer = tracer
+
+    @property
+    def store(self):
+        """The default Object store handle."""
+        if "default" in self.stores:
+            return self.stores["default"]
+        if len(self.stores) == 1:
+            return next(iter(self.stores.values()))
+        raise ConfigurationError(
+            f"{self.knactor_name}: ambiguous default store "
+            f"(have {sorted(self.stores)})"
+        )
+
+    def log(self, local_name="log"):
+        """A named Log store handle."""
+        return self.stores[local_name]
+
+    def trace(self, name, **attrs):
+        if self.tracer is not None:
+            self.tracer.record("reconciler", name, knactor=self.knactor_name, **attrs)
+
+
+class Reconciler:
+    """Base class: subclass and override :meth:`reconcile`.
+
+    Class attributes subclasses may tune:
+
+    - ``service_time``: simulated local processing time per reconcile call
+      (seconds of virtual time),
+    - ``max_retries`` / ``backoff``: conflict-retry policy,
+    - ``log_subscriptions``: local names of Log stores whose appended
+      batches should be delivered to :meth:`on_log_batch`.
+    """
+
+    service_time = 0.0
+    max_retries = 5
+    backoff = 0.005
+    log_subscriptions = ()
+
+    def __init__(self, name=None):
+        self.name = name or type(self).__name__
+        self.ctx = None
+        self._queue = OrderedDict()  # key -> latest event type (dedup, FIFO)
+        self._log_cursors = {}  # local_name -> next unseen _seq
+        self._wakeup = None
+        self._running = False
+        self.reconcile_count = 0
+        self.error_count = 0
+
+    # -- subclass surface -----------------------------------------------------
+
+    def setup(self, ctx):
+        """One-time initialization (optional).  May be a generator."""
+
+    def reconcile(self, ctx, key, obj):
+        """Handle one (possibly coalesced) change to ``key``.
+
+        ``obj`` is the object's current data, or None if it was deleted.
+        May be a generator performing store operations via ``yield``.
+        """
+
+    def on_log_batch(self, ctx, local_name, records):
+        """Handle a batch appended to a subscribed Log store (optional)."""
+
+    def requeue(self, key):
+        """Re-enqueue a key for another reconcile pass.
+
+        For reconcilers that defer work (e.g. a downstream dependency was
+        unavailable): watch events only fire on state *changes*, so a
+        reconcile that bails out must requeue explicitly to be retried.
+        """
+        self._queue[key] = "REQUEUED"
+        self._kick()
+
+    # -- wiring (called by the Knactor/runtime) ----------------------------------
+
+    def attach(self, ctx):
+        self.ctx = ctx
+
+    def start(self):
+        if self.ctx is None:
+            raise ConfigurationError(f"reconciler {self.name!r} is not attached")
+        if self._running:
+            return
+        self._running = True
+        env = self.ctx.env
+        # Watch the default store (if the knactor has an Object store).
+        self._watch_default()
+        for local_name in self.log_subscriptions:
+            self._log_cursors.setdefault(local_name, 0)
+            self._watch_log(local_name)
+        env.process(self._run_setup(env))
+        self._worker = env.process(self._work_loop(env))
+
+    def _watch_log(self, local_name):
+        handle = self.ctx.stores[local_name]
+        handle.watch(
+            self._make_log_handler(local_name),
+            on_close=lambda: self._on_log_watch_lost(local_name),
+        )
+
+    def _on_log_watch_lost(self, local_name):
+        """Log failover: re-subscribe and replay from the seq cursor."""
+        if not self._running:
+            return
+        self.ctx.trace("log-watch-lost", store=local_name)
+        self._watch_log(local_name)
+        self.ctx.env.process(self._log_catch_up(self.ctx.env, local_name))
+
+    def _log_catch_up(self, env, local_name):
+        handle = self.ctx.stores[local_name]
+        records = yield handle.query(since_seq=self._log_cursors[local_name])
+        if not records:
+            return
+        self._advance_log_cursor(local_name, records)
+        result = self.on_log_batch(self.ctx, local_name, records)
+        if hasattr(result, "send"):
+            yield env.process(result)
+
+    def _advance_log_cursor(self, local_name, records):
+        top = max((r["_seq"] + 1 for r in records if "_seq" in r), default=0)
+        if top > self._log_cursors.get(local_name, 0):
+            self._log_cursors[local_name] = top
+
+    def _watch_default(self):
+        default = self.ctx.stores.get("default")
+        if default is not None:
+            default.watch(self._on_event, on_close=self._on_watch_lost)
+
+    def _on_watch_lost(self):
+        """Store failover: re-watch and resync (informer re-list)."""
+        if not self._running:
+            return
+        self.ctx.trace("watch-lost", store=self.name)
+        self._watch_default()
+        self.ctx.env.process(self._resync(self.ctx.env))
+
+    def _resync(self, env):
+        default = self.ctx.stores.get("default")
+        if default is None:
+            return
+        views = yield default.list()
+        for view in views:
+            self._queue.setdefault(view["key"], "RESYNC")
+        self._kick()
+
+    def stop(self):
+        self._running = False
+        self._kick()
+
+    def _run_setup(self, env):
+        result = self.setup(self.ctx)
+        if hasattr(result, "send"):
+            yield env.process(result)
+        else:
+            yield env.timeout(0)
+
+    # -- event intake ---------------------------------------------------------------
+
+    def _on_event(self, event):
+        self.ctx.trace(
+            "observed", store=self.name, key=event.key, type=event.type,
+        )
+        self._queue[event.key] = event.type
+        self._queue.move_to_end(event.key)
+        self._kick()
+
+    def _make_log_handler(self, local_name):
+        def handler(event):
+            records = event.object["records"]
+            self.ctx.trace("log-batch", store=local_name, count=len(records))
+            self._advance_log_cursor(local_name, records)
+            result = self.on_log_batch(self.ctx, local_name, records)
+            if hasattr(result, "send"):
+                self.ctx.env.process(result)
+
+        return handler
+
+    def _kick(self):
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+
+    # -- the work loop ----------------------------------------------------------------
+
+    def _work_loop(self, env):
+        while self._running:
+            if not self._queue:
+                self._wakeup = env.event()
+                yield self._wakeup
+                self._wakeup = None
+                continue
+            key, _event_type = self._queue.popitem(last=False)
+            yield env.process(self._reconcile_once(env, key))
+
+    def _reconcile_once(self, env, key):
+        started = env.now
+        for attempt in range(self.max_retries + 1):
+            try:
+                obj = None
+                default = self.ctx.stores.get("default")
+                if default is not None:
+                    try:
+                        view = yield default.get(key)
+                        obj = view["data"]
+                    except NotFoundError:
+                        obj = None
+                if self.service_time > 0:
+                    yield env.timeout(self.service_time)
+                result = self.reconcile(self.ctx, key, obj)
+                if hasattr(result, "send"):
+                    yield env.process(result)
+                self.reconcile_count += 1
+                self.ctx.trace(
+                    "reconciled", key=key, duration=env.now - started,
+                    attempts=attempt + 1,
+                )
+                return
+            except ConflictError:
+                self.error_count += 1
+                yield env.timeout(self.backoff * (2**attempt))
+        # Retries exhausted: requeue at the back and move on.
+        self._queue.setdefault(key, "RETRY")

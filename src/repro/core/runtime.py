@@ -1,0 +1,138 @@
+"""The Knactor runtime: hosts knactors and integrators on DEs.
+
+The runtime owns the simulation environment, the network, the tracer, and
+one or more named Data Exchanges.  Registering a knactor *externalizes*
+its stores (hosts them + registers schemas); registering an integrator
+binds it (static analysis against live schemas) so it can be started and
+reconfigured at run time.
+"""
+
+from repro.errors import ConfigurationError, NotFoundError
+from repro.core.knactor import Knactor
+from repro.core.reconciler import ReconcilerContext
+from repro.simnet import Network, Tracer
+
+
+class KnactorRuntime:
+    """Hosts knactors + integrators over a set of Data Exchanges."""
+
+    def __init__(self, env, network=None, tracer=None):
+        self.env = env
+        self.network = network if network is not None else Network(env)
+        self.tracer = tracer if tracer is not None else Tracer(env)
+        self.exchanges = {}  # name -> DataExchange
+        self.knactors = {}
+        self.integrators = {}
+        self._started = False
+
+    # -- registration -------------------------------------------------------------
+
+    def add_exchange(self, name, de):
+        if name in self.exchanges:
+            raise ConfigurationError(f"exchange {name!r} already registered")
+        self.exchanges[name] = de
+        return de
+
+    def exchange(self, name):
+        try:
+            return self.exchanges[name]
+        except KeyError:
+            raise NotFoundError(f"no exchange named {name!r}") from None
+
+    def add_knactor(self, knactor):
+        """Register and externalize a knactor's data stores."""
+        if not isinstance(knactor, Knactor):
+            raise ConfigurationError(f"expected a Knactor, got {knactor!r}")
+        if knactor.name in self.knactors:
+            raise ConfigurationError(f"knactor {knactor.name!r} already registered")
+        self.knactors[knactor.name] = knactor
+        handles = {}
+        for binding in knactor.stores:
+            de = self.exchange(binding.de)
+            de.host_store(
+                binding.store_name, binding.resolved_schema(), owner=knactor.name
+            )
+            handles[binding.local_name] = de.handle(
+                binding.store_name, principal=knactor.name,
+                location=knactor.location,
+            )
+        if knactor.reconciler is not None:
+            ctx = ReconcilerContext(
+                self.env, knactor.name, handles, tracer=self.tracer
+            )
+            knactor.reconciler.attach(ctx)
+        knactor._handles = handles
+        if self._started and knactor.reconciler is not None:
+            knactor.reconciler.start()
+        return knactor
+
+    def add_integrator(self, integrator):
+        if integrator.name in self.integrators:
+            raise ConfigurationError(
+                f"integrator {integrator.name!r} already registered"
+            )
+        self.integrators[integrator.name] = integrator
+        integrator.bind(self)
+        if self._started:
+            integrator.start()
+        return integrator
+
+    # -- lookups ---------------------------------------------------------------------
+
+    def knactor(self, name):
+        try:
+            return self.knactors[name]
+        except KeyError:
+            raise NotFoundError(f"no knactor named {name!r}") from None
+
+    def integrator(self, name):
+        try:
+            return self.integrators[name]
+        except KeyError:
+            raise NotFoundError(f"no integrator named {name!r}") from None
+
+    def handle_of(self, knactor_name, local_name="default"):
+        """A knactor's own handle to one of its stores."""
+        return self.knactor(knactor_name)._handles[local_name]
+
+    def store_owner(self, store_name):
+        """Which knactor owns a hosted store name (any DE)."""
+        for knactor in self.knactors.values():
+            for binding in knactor.stores:
+                if binding.store_name == store_name:
+                    return knactor.name
+        raise NotFoundError(f"no knactor hosts store {store_name!r}")
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def start(self):
+        """Start every reconciler and integrator."""
+        if self._started:
+            return
+        self._started = True
+        for knactor in self.knactors.values():
+            if knactor.reconciler is not None:
+                knactor.reconciler.start()
+        for integrator in self.integrators.values():
+            integrator.start()
+
+    def stop(self):
+        if not self._started:
+            return
+        self._started = False
+        for integrator in self.integrators.values():
+            integrator.stop()
+        for knactor in self.knactors.values():
+            if knactor.reconciler is not None:
+                knactor.reconciler.stop()
+
+    def describe(self):
+        lines = [f"runtime: {len(self.knactors)} knactor(s), "
+                 f"{len(self.integrators)} integrator(s)"]
+        for knactor in self.knactors.values():
+            lines.append(knactor.describe())
+        for integrator in self.integrators.values():
+            lines.append(repr(integrator))
+        for name, de in self.exchanges.items():
+            lines.append(de.describe())
+        return "\n".join(lines)

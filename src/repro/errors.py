@@ -1,0 +1,75 @@
+"""Exception hierarchy shared across the Knactor reproduction.
+
+Subsystems define their own narrow exceptions, all rooted at
+:class:`ReproError` so callers can catch framework errors without also
+swallowing programming errors (``TypeError`` and friends).
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or reconfigured with invalid settings."""
+
+
+class SchemaError(ReproError):
+    """Schema definition, registration, or validation failure."""
+
+
+class StoreError(ReproError):
+    """Base class for data-store failures."""
+
+
+class NotFoundError(StoreError):
+    """The requested key/object/pool does not exist."""
+
+
+class ConflictError(StoreError):
+    """Optimistic-concurrency conflict: the object changed under the writer."""
+
+
+class AlreadyExistsError(StoreError):
+    """Create was attempted for a key that already exists."""
+
+
+class AccessDeniedError(ReproError):
+    """An access-control policy rejected the operation."""
+
+
+class DXGError(ReproError):
+    """Base class for data-exchange-graph failures."""
+
+
+class DXGParseError(DXGError):
+    """The DXG specification could not be parsed."""
+
+
+class DXGAnalysisError(DXGError):
+    """Static analysis rejected the DXG (e.g. a dependency cycle)."""
+
+
+class ExpressionError(DXGError):
+    """A DXG expression is invalid or failed to evaluate."""
+
+
+class RPCError(ReproError):
+    """Base class for RPC-baseline failures."""
+
+
+class IDLError(RPCError):
+    """The interface-definition file could not be parsed."""
+
+
+class RPCStatusError(RPCError):
+    """An RPC completed with a non-OK status code."""
+
+    def __init__(self, code, message=""):
+        super().__init__(f"rpc failed with status {code}: {message}")
+        self.code = code
+        self.message = message
+
+
+class ClusterError(ReproError):
+    """Deployment/rollout failure in the miniature cluster model."""

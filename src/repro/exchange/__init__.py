@@ -1,0 +1,43 @@
+"""The Data Exchange (DE) layer.
+
+A Data Exchange hosts knactors' data stores on a backend and provides
+"state access and management capabilities such as data storage, caching,
+scaling, analytics, and access control" (paper §3.2).  Two DE types are
+provided, matching the paper:
+
+- :class:`ObjectDE` -- attribute-value states with CRUD + watch, hosted on
+  either the apiserver-like or the Redis-like backend,
+- :class:`LogDE` -- append-only structured records with ingest + analytics,
+  hosted on the Zed-lake-like backend.
+
+Every access goes through role-based access control with optional
+field-level scoping, and is recorded in the audit log -- the visibility
+that API-centric composition hides (paper Problem 3).
+"""
+
+from repro.exchange.access import (
+    ALL_VERBS,
+    AccessController,
+    Permission,
+    Role,
+)
+from repro.exchange.audit import AuditLog, AuditRecord
+from repro.exchange.base import DataExchange, HostedStore
+from repro.exchange.log_de import LogDE, LogStoreHandle
+from repro.exchange.object_de import ObjectDE, ObjectStoreHandle, Transaction
+
+__all__ = [
+    "ALL_VERBS",
+    "AccessController",
+    "AuditLog",
+    "AuditRecord",
+    "DataExchange",
+    "HostedStore",
+    "LogDE",
+    "LogStoreHandle",
+    "ObjectDE",
+    "ObjectStoreHandle",
+    "Permission",
+    "Role",
+    "Transaction",
+]

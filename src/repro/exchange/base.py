@@ -1,0 +1,179 @@
+"""DataExchange base: hosting, schemas, grants, and handles.
+
+A :class:`DataExchange` owns a backend store, a schema registry, an access
+controller, and an audit log.  Knactors *host* their data stores on it
+(the development workflow's "Externalize" step), and reconcilers /
+integrators obtain :class:`~repro.exchange.object_de.ObjectStoreHandle` /
+:class:`~repro.exchange.log_de.LogStoreHandle` objects bound to a principal
+and network location ("Exchange" step).
+
+Grants follow the paper's rule set: a store's owner (its reconciler) gets
+full access; an integrator granted access to a store may read it and may
+write only the fields annotated ``+kr: external`` (Object) or
+``+kr: ingest`` (Log), unless the grant says otherwise.
+"""
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, NotFoundError
+from repro.exchange.access import (
+    ALL_VERBS,
+    AccessController,
+    Grant,
+    Permission,
+    Role,
+)
+from repro.exchange.audit import AuditLog
+from repro.schema import Schema, SchemaRegistry
+
+
+@dataclass
+class HostedStore:
+    """One knactor data store hosted on a DE."""
+
+    name: str
+    schema: Schema
+    owner: str
+
+    @property
+    def key_prefix(self):
+        return f"{self.name}/"
+
+
+class DataExchange:
+    """Base class for Object and Log data exchanges."""
+
+    #: Verbs handed to a store owner.
+    OWNER_VERBS = ALL_VERBS
+
+    def __init__(self, env, backend, name="de"):
+        self.env = env
+        self.backend = backend
+        self.name = name
+        self.schemas = SchemaRegistry()
+        self.audit = AuditLog()
+        self.acl = AccessController(audit=self.audit)
+        self.grants = []
+        self._stores = {}
+
+    # -- hosting ---------------------------------------------------------------
+
+    def host_store(self, store_name, schema, owner):
+        """Host a data store: register its schema and grant the owner.
+
+        ``schema`` may be a :class:`Schema` or its Fig. 5 text form.
+        """
+        if store_name in self._stores:
+            raise ConfigurationError(f"store {store_name!r} is already hosted")
+        if isinstance(schema, str):
+            schema = Schema.from_text(schema)
+        self.schemas.register(schema)
+        hosted = HostedStore(store_name, schema, owner)
+        self._stores[store_name] = hosted
+        role = Role(
+            f"owner:{store_name}",
+            [
+                Permission(
+                    store=store_name,
+                    verbs=self.OWNER_VERBS,
+                    write_fields=None,
+                    read_fields=("*",),
+                )
+            ],
+        )
+        self.acl.add_role(role)
+        self.acl.bind(owner, role.name)
+        self._on_hosted(hosted)
+        return hosted
+
+    def _on_hosted(self, hosted):
+        """Subclass hook (e.g. the Log DE creates the backing pool)."""
+
+    def store(self, store_name):
+        try:
+            return self._stores[store_name]
+        except KeyError:
+            raise NotFoundError(f"store {store_name!r} is not hosted here") from None
+
+    def stores(self):
+        return sorted(self._stores)
+
+    def schema_for(self, store_name):
+        """The only thing non-owners may inspect: the schema, not states."""
+        return self.store(store_name).schema
+
+    def update_schema(self, store_name, schema, allow_breaking=False):
+        """Re-register a store's schema (schema evolution, task T3)."""
+        hosted = self.store(store_name)
+        if isinstance(schema, str):
+            schema = Schema.from_text(schema)
+        delta = self.schemas.register(schema, allow_breaking=allow_breaking)
+        hosted.schema = schema
+        return delta
+
+    # -- grants ------------------------------------------------------------------
+
+    def grant(
+        self,
+        principal,
+        store_name,
+        verbs,
+        write_fields=None,
+        read_fields=(),
+        note="",
+    ):
+        """Grant ``principal`` the given verbs on a hosted store."""
+        self.store(store_name)  # must exist
+        verbs = frozenset(verbs)
+        role = Role(
+            f"grant:{principal}:{store_name}:{len(self.grants)}",
+            [
+                Permission(
+                    store=store_name,
+                    verbs=verbs,
+                    write_fields=tuple(write_fields) if write_fields is not None else None,
+                    read_fields=tuple(read_fields),
+                )
+            ],
+        )
+        self.acl.add_role(role)
+        self.acl.bind(principal, role.name)
+        grant = Grant(
+            principal=principal,
+            store=store_name,
+            verbs=verbs,
+            write_fields=tuple(write_fields) if write_fields is not None else None,
+            note=note,
+        )
+        self.grants.append(grant)
+        return grant
+
+    def grant_integrator(self, principal, store_name, note=""):
+        """The standard integrator grant for this DE type (subclasses)."""
+        raise NotImplementedError
+
+    # -- handles -----------------------------------------------------------------
+
+    def handle(self, store_name, principal, location=None):
+        """A store handle bound to ``principal`` at ``location``."""
+        raise NotImplementedError
+
+    def describe(self):
+        """Human-oriented summary (used by the CLI)."""
+        lines = [f"DataExchange {self.name!r} ({type(self).__name__})"]
+        for name in self.stores():
+            hosted = self._stores[name]
+            lines.append(
+                f"  store {name}  schema={hosted.schema.name}  owner={hosted.owner}"
+            )
+        for grant in self.grants:
+            scope = (
+                "all fields"
+                if grant.write_fields is None
+                else ", ".join(grant.write_fields) or "(read-only)"
+            )
+            lines.append(
+                f"  grant {grant.principal} -> {grant.store}: "
+                f"{'/'.join(sorted(grant.verbs))} [{scope}]"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,302 @@
+"""The Object Data Exchange.
+
+Hosts attribute-value data stores ("keeps states as attribute-value pairs
+in a k-v store and exposes APIs for CRUD operations", paper §3.2) on either
+Object backend -- the apiserver-like store or the Redis-like store -- which
+is exactly the ``K-apiserver`` vs ``K-redis`` axis of Table 2.
+
+Every handle operation:
+
+1. passes RBAC (+ field-scope for writes, + run-time conditions),
+2. validates the payload against the store's schema,
+3. executes on the backend with real (virtual-clock) latency,
+4. masks ``+kr: secret`` fields on the way out for non-privileged readers.
+"""
+
+import copy
+
+from repro.errors import ConfigurationError
+from repro.exchange.base import DataExchange
+from repro.schema.validation import validate_state
+from repro.store.apiserver import ApiServer, ApiServerClient
+from repro.store.base import WatchEvent
+from repro.store.memkv import MemKV, MemKVClient
+from repro.util.paths import delete_path, get_path, walk_leaves
+
+
+class ObjectDE(DataExchange):
+    """Object exchange over an apiserver-like or Redis-like backend."""
+
+    def __init__(self, env, backend, name="object-de"):
+        if not isinstance(backend, (ApiServer, MemKV)):
+            raise ConfigurationError(
+                f"ObjectDE needs an ApiServer or MemKV backend, "
+                f"got {type(backend).__name__}"
+            )
+        super().__init__(env, backend, name)
+
+    def _client(self, location):
+        if isinstance(self.backend, ApiServer):
+            return ApiServerClient(self.backend, location)
+        return MemKVClient(self.backend, location)
+
+    def grant_integrator(self, principal, store_name, note=""):
+        """Read + patch, writes scoped to the ``+kr: external`` fields."""
+        schema = self.schema_for(store_name)
+        external = tuple(f.path for f in schema.external_fields())
+        return self.grant(
+            principal,
+            store_name,
+            verbs={"get", "list", "watch", "patch", "create"},
+            write_fields=external,
+            note=note or "integrator grant (external fields only)",
+        )
+
+    def grant_reader(self, principal, store_name, note=""):
+        return self.grant(
+            principal,
+            store_name,
+            verbs={"get", "list", "watch"},
+            write_fields=(),
+            note=note or "read-only grant",
+        )
+
+    def handle(self, store_name, principal, location=None):
+        hosted = self.store(store_name)
+        return ObjectStoreHandle(
+            de=self,
+            hosted=hosted,
+            principal=principal,
+            client=self._client(location if location is not None else principal),
+        )
+
+    def transaction(self, principal, location=None):
+        """Start an atomic multi-store transaction (paper §5).
+
+        Operations may span any stores hosted on THIS exchange (they share
+        a backend, which is what makes atomicity cheap).  Every queued
+        operation passes the same access-control and schema checks a
+        handle would apply; ``commit()`` applies all of them in one
+        backend round trip, all-or-nothing.
+        """
+        return Transaction(
+            de=self,
+            principal=principal,
+            client=self._client(location if location is not None else principal),
+        )
+
+    @property
+    def supports_udf(self):
+        """True when the backend can run pushed-down integrator logic."""
+        return isinstance(self.backend, MemKV)
+
+
+class ObjectStoreHandle:
+    """A principal's access handle to one hosted Object store."""
+
+    def __init__(self, de, hosted, principal, client):
+        self.de = de
+        self.hosted = hosted
+        self.principal = principal
+        self.client = client
+
+    @property
+    def env(self):
+        return self.de.env
+
+    @property
+    def schema(self):
+        return self.hosted.schema
+
+    @property
+    def store_name(self):
+        return self.hosted.name
+
+    # -- helpers -----------------------------------------------------------
+
+    def _key(self, key):
+        return f"{self.hosted.name}/{key}"
+
+    def _check(self, verb, fields=None):
+        self.de.acl.check(
+            self.principal,
+            self.hosted.name,
+            verb,
+            now=self.env.now,
+            fields=fields,
+        )
+
+    def _mask(self, view):
+        """Strip secret fields unless this principal may read them."""
+        secrets = self.schema.secret_fields()
+        if not secrets:
+            return view
+        readable = self.de.acl.readable_secret_fields(
+            self.principal, self.hosted.name
+        )
+        if "*" in readable:
+            return view
+        masked = dict(view)
+        masked["data"] = copy.deepcopy(view["data"])
+        for f in secrets:
+            if f.path not in readable:
+                delete_path(masked["data"], f.path)
+        return masked
+
+    @staticmethod
+    def _patch_paths(patch):
+        return [".".join(str(p) for p in path) for path, _ in walk_leaves(patch)]
+
+    # -- operations (each returns a simnet process event) --------------------
+
+    def create(self, key, data):
+        self._check("create", fields=self._patch_paths(data))
+        validate_state(data, self.schema).raise_if_invalid()
+        return self._masked_request(self.client.create(self._key(key), data))
+
+    def get(self, key):
+        self._check("get")
+        return self._masked_request(self.client.get(self._key(key)))
+
+    def update(self, key, data, resource_version=None):
+        self._check("update", fields=self._patch_paths(data))
+        validate_state(data, self.schema).raise_if_invalid()
+        return self._masked_request(
+            self.client.update(self._key(key), data, resource_version)
+        )
+
+    def patch(self, key, patch, resource_version=None):
+        self._check("patch", fields=self._patch_paths(patch))
+        validate_state(patch, self.schema, partial=True).raise_if_invalid()
+        return self._masked_request(
+            self.client.patch(self._key(key), patch, resource_version)
+        )
+
+    def delete(self, key):
+        self._check("delete")
+        return self.client.delete(self._key(key))
+
+    def list(self, prefix=""):
+        self._check("list")
+
+        def run(env):
+            views = yield self.client.list(self._key(prefix))
+            return [self._strip_prefix(self._mask(v)) for v in views]
+
+        return self.env.process(run(self.env))
+
+    def watch(self, handler, prefix="", on_close=None):
+        """Watch this store; events carry keys relative to the store.
+
+        ``on_close`` fires if the backend drops the watch (failover);
+        callers re-watch and resync.
+        """
+        self._check("watch")
+
+        def wrapped(event):
+            view = self._mask({"data": event.object})
+            handler(
+                WatchEvent(
+                    type=event.type,
+                    key=event.key[len(self.hosted.key_prefix) :],
+                    object=view["data"],
+                    revision=event.revision,
+                )
+            )
+
+        return self.client.watch(
+            wrapped, key_prefix=self.hosted.key_prefix, on_close=on_close
+        )
+
+    def read_field(self, key, path, default=None):
+        """Convenience: read one dotted field of one object."""
+
+        def run(env):
+            view = yield self.get(key)
+            return get_path(view["data"], path, default=default)
+
+        return self.env.process(run(self.env))
+
+    # -- internals ------------------------------------------------------------
+
+    def _masked_request(self, request):
+        def run(env):
+            view = yield request
+            return self._strip_prefix(self._mask(view))
+
+        return self.env.process(run(self.env))
+
+    def _strip_prefix(self, view):
+        out = dict(view)
+        key = out.get("key", "")
+        if key.startswith(self.hosted.key_prefix):
+            out["key"] = key[len(self.hosted.key_prefix) :]
+        return out
+
+
+class Transaction:
+    """An atomic batch of checked operations across one DE's stores."""
+
+    def __init__(self, de, principal, client):
+        self.de = de
+        self.principal = principal
+        self.client = client
+        self._ops = []
+        self.committed = False
+
+    def __len__(self):
+        return len(self._ops)
+
+    def _admit(self, verb, store_name, payload_fields):
+        hosted = self.de.store(store_name)
+        self.de.acl.check(
+            self.principal, store_name, verb,
+            now=self.de.env.now, fields=payload_fields,
+        )
+        return hosted
+
+    @staticmethod
+    def _paths(payload):
+        return [".".join(str(p) for p in path) for path, _ in walk_leaves(payload)]
+
+    def create(self, store_name, key, data):
+        hosted = self._admit("create", store_name, self._paths(data))
+        validate_state(data, hosted.schema).raise_if_invalid()
+        self._ops.append(
+            {"action": "create", "key": f"{hosted.key_prefix}{key}", "data": data}
+        )
+        return self
+
+    def update(self, store_name, key, data, resource_version=None):
+        hosted = self._admit("update", store_name, self._paths(data))
+        validate_state(data, hosted.schema).raise_if_invalid()
+        self._ops.append(
+            {"action": "update", "key": f"{hosted.key_prefix}{key}",
+             "data": data, "resource_version": resource_version}
+        )
+        return self
+
+    def patch(self, store_name, key, patch, resource_version=None):
+        hosted = self._admit("patch", store_name, self._paths(patch))
+        validate_state(patch, hosted.schema, partial=True).raise_if_invalid()
+        self._ops.append(
+            {"action": "patch", "key": f"{hosted.key_prefix}{key}",
+             "patch": patch, "resource_version": resource_version}
+        )
+        return self
+
+    def delete(self, store_name, key):
+        hosted = self._admit("delete", store_name, ())
+        self._ops.append(
+            {"action": "delete", "key": f"{hosted.key_prefix}{key}"}
+        )
+        return self
+
+    def commit(self):
+        """Apply atomically; returns a process event with the views."""
+        if self.committed:
+            raise ConfigurationError("transaction already committed")
+        if not self._ops:
+            raise ConfigurationError("empty transaction")
+        self.committed = True
+        return self.client.txn(self._ops)

@@ -1,0 +1,99 @@
+"""Composition-cost accounting (Table 1).
+
+A :class:`CompositionTask` records, for one task and one approach:
+
+- the required **operations** -- ``c`` (code changes), ``f`` (config
+  changes), ``b`` (rebuild service), ``d`` (redeploy service),
+- the **artifacts** (files) touched, with their real content,
+
+and derives the paper's columns: operation string, # files, SLOC.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.metrics.sloc import file_count, total_sloc
+
+#: Operation glyphs in Table 1's order.
+OPERATIONS = ("c", "f", "b", "d")
+OPERATION_NAMES = {
+    "c": "code changes",
+    "f": "config changes",
+    "b": "rebuild service",
+    "d": "redeploy service",
+}
+
+
+@dataclass
+class CompositionTask:
+    """One (task, approach) cell of Table 1."""
+
+    task: str  # "T1" / "T2" / "T3"
+    approach: str  # "API" / "KN"
+    description: str = ""
+    operations: tuple = ()
+    artifacts: list = field(default_factory=list)
+    services_rebuilt: tuple = ()  # names of services needing b+d
+
+    def __post_init__(self):
+        bad = set(self.operations) - set(OPERATIONS)
+        if bad:
+            raise ConfigurationError(f"unknown operation(s) {sorted(bad)}")
+
+    @property
+    def operation_string(self):
+        """Paper notation: ``c / f / b / d`` subset, slash-separated."""
+        present = [op for op in OPERATIONS if op in self.operations]
+        return " / ".join(present)
+
+    @property
+    def files(self):
+        return file_count(self.artifacts)
+
+    @property
+    def sloc(self):
+        return total_sloc(self.artifacts)
+
+    def artifact_index(self):
+        return [(a.path, a.language, a.sloc) for a in self.artifacts if a.changed]
+
+
+@dataclass
+class TaskComparison:
+    """API-centric vs Knactor for one task (one Table 1 row)."""
+
+    api: CompositionTask
+    knactor: CompositionTask
+
+    def __post_init__(self):
+        if self.api.task != self.knactor.task:
+            raise ConfigurationError(
+                f"mismatched tasks {self.api.task} vs {self.knactor.task}"
+            )
+
+    @property
+    def task(self):
+        return self.api.task
+
+    def row(self):
+        """(task, api_ops, kn_ops, api_files, kn_files, api_sloc, kn_sloc)."""
+        return (
+            self.task,
+            self.api.operation_string,
+            self.knactor.operation_string,
+            self.api.files,
+            self.knactor.files,
+            self.api.sloc,
+            self.knactor.sloc,
+        )
+
+    def knactor_wins(self):
+        """The paper's qualitative claims for every task."""
+        api, kn = self.api, self.knactor
+        return {
+            "config_only": set(kn.operations) <= {"f"},
+            "api_needs_rebuild": {"b", "d"} <= set(api.operations),
+            "fewer_files": kn.files <= api.files,
+            "fewer_sloc": kn.sloc <= api.sloc,
+            "single_location": kn.files == 1,
+        }

@@ -1,0 +1,143 @@
+"""Observability over a running Knactor deployment (paper §5).
+
+"Deployment issues such as load balancing, autoscaling, and observability,
+such as monitoring knactor SLOs through distributed tracing and telemetry,
+are also worth exploring."  This module provides the telemetry layer:
+
+- :func:`runtime_snapshot` -- a point-in-time health view of every
+  knactor, integrator, store, and the audit trail,
+- :func:`exchange_durations` -- per-exchange latency series extracted
+  from the trace stream (the distributed-tracing view of an integrator),
+- :class:`SLOMonitor` -- declare a latency objective over a traced span
+  and ask whether the deployment meets it.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.metrics.latency import summarize
+
+
+def runtime_snapshot(runtime):
+    """Health/throughput counters for every component of a runtime."""
+    snapshot = {"time": runtime.env.now, "knactors": {}, "integrators": {},
+                "exchanges": {}}
+    for name, knactor in runtime.knactors.items():
+        entry = {"stores": [b.store_name for b in knactor.stores]}
+        reconciler = knactor.reconciler
+        if reconciler is not None:
+            entry.update(
+                reconciles=reconciler.reconcile_count,
+                conflicts=reconciler.error_count,
+                queue_depth=len(reconciler._queue),
+            )
+        snapshot["knactors"][name] = entry
+    for name, integrator in runtime.integrators.items():
+        snapshot["integrators"][name] = integrator.status()
+    for name, de in runtime.exchanges.items():
+        snapshot["exchanges"][name] = {
+            "stores": de.stores(),
+            "backend_ops": dict(de.backend.op_counts),
+            "audited_accesses": len(de.audit),
+            "denials": len(de.audit.denials()),
+        }
+    return snapshot
+
+
+def exchange_durations(tracer, integrator):
+    """Per-exchange (begin -> end) durations for one Cast integrator.
+
+    Matches each ``cast/begin`` with the next ``cast/end`` of the same
+    correlation id, in trace order -- the span a distributed tracer
+    would reconstruct.
+    """
+    open_begins = {}
+    durations = []
+    for event in tracer.events:
+        if event.category != "cast" or event.attrs.get("integrator") != integrator:
+            continue
+        cid = event.attrs.get("cid")
+        if event.name == "begin":
+            open_begins.setdefault(cid, []).append(event.time)
+        elif event.name in ("end", "denied") and open_begins.get(cid):
+            started = open_begins[cid].pop(0)
+            durations.append(event.time - started)
+    return durations
+
+
+def reconcile_durations(tracer, knactor):
+    """Per-reconcile durations for one knactor's reconciler."""
+    return [
+        event.attrs["duration"]
+        for event in tracer.events
+        if event.category == "reconciler"
+        and event.name == "reconciled"
+        and event.attrs.get("knactor") == knactor
+        and "duration" in event.attrs
+    ]
+
+
+@dataclass
+class SLOReport:
+    """Outcome of one SLO evaluation."""
+
+    name: str
+    target_seconds: float
+    percentile: float
+    observed_seconds: float
+    sample_count: int
+    met: bool
+
+    def describe(self):
+        status = "MET" if self.met else "VIOLATED"
+        return (
+            f"SLO {self.name}: p{int(self.percentile * 100)} "
+            f"{self.observed_seconds * 1000:.2f} ms vs target "
+            f"{self.target_seconds * 1000:.2f} ms over "
+            f"{self.sample_count} samples -> {status}"
+        )
+
+
+@dataclass
+class SLOMonitor:
+    """A latency objective over an integrator's exchange spans."""
+
+    name: str
+    integrator: str
+    target_seconds: float
+    percentile: float = 0.99
+    reports: list = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.target_seconds <= 0:
+            raise ConfigurationError("target_seconds must be positive")
+        if not 0 < self.percentile <= 1:
+            raise ConfigurationError("percentile must be in (0, 1]")
+
+    def evaluate(self, tracer):
+        """Evaluate against the trace; returns (and records) a report."""
+        durations = exchange_durations(tracer, self.integrator)
+        if not durations:
+            raise ConfigurationError(
+                f"no exchange spans recorded for {self.integrator!r}"
+            )
+        stats = summarize(durations)
+        key = f"p{int(self.percentile * 100)}"
+        observed = stats.get(key)
+        if observed is None:
+            # summarize() exposes p50/p99; interpolate other percentiles.
+            ordered = sorted(durations)
+            rank = self.percentile * (len(ordered) - 1)
+            low = int(rank)
+            high = min(low + 1, len(ordered) - 1)
+            observed = ordered[low] * (1 - (rank - low)) + ordered[high] * (rank - low)
+        report = SLOReport(
+            name=self.name,
+            target_seconds=self.target_seconds,
+            percentile=self.percentile,
+            observed_seconds=observed,
+            sample_count=len(durations),
+            met=observed <= self.target_seconds,
+        )
+        self.reports.append(report)
+        return report

@@ -1,0 +1,19 @@
+"""The Pub/Sub baseline: an EMQX/MQTT-like topic broker built from scratch.
+
+The smart home app's API-centric variant composes House, Motion, and Lamp
+through this broker: each service publishes to / subscribes on topics and
+(de)serializes messages with schemas *defined by the other services* --
+the coupling the Knactor variant removes.
+"""
+
+from repro.pubsub.broker import Broker, Subscription
+from repro.pubsub.client import PubSubClient
+from repro.pubsub.codec import CodecError, MessageCodec
+
+__all__ = [
+    "Broker",
+    "CodecError",
+    "MessageCodec",
+    "PubSubClient",
+    "Subscription",
+]

@@ -1,0 +1,109 @@
+"""Topic broker with MQTT-style semantics.
+
+Features modelled: topic hierarchy with ``+``/``#`` wildcards, retained
+messages, per-subscriber FIFO delivery over the simulated network, and a
+per-message broker forwarding overhead.
+"""
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.store.base import estimate_size
+
+
+def topic_matches(pattern, topic):
+    """MQTT wildcard match: ``+`` one level, ``#`` all remaining levels."""
+    pattern_parts = pattern.split("/")
+    topic_parts = topic.split("/")
+    for i, part in enumerate(pattern_parts):
+        if part == "#":
+            return True
+        if i >= len(topic_parts):
+            return False
+        if part != "+" and part != topic_parts[i]:
+            return False
+    return len(pattern_parts) == len(topic_parts)
+
+
+@dataclass
+class Subscription:
+    """One client's subscription to a topic pattern."""
+
+    pattern: str
+    handler: object
+    location: str
+    active: bool = True
+    delivered: int = 0
+
+    def cancel(self):
+        self.active = False
+
+
+@dataclass
+class _Retained:
+    topic: str
+    payload: bytes
+    retained_at: float = 0.0
+
+
+class Broker:
+    """The broker process: receives publishes, fans out to subscribers."""
+
+    #: Broker-side forwarding overhead per message (seconds) + per byte.
+    forward_overhead = 0.0003
+    per_byte = 2e-9
+
+    def __init__(self, env, network, location="broker"):
+        self.env = env
+        self.network = network
+        self.location = location
+        self._subscriptions = []
+        self._retained = {}
+        self.published = 0
+        self.delivered = 0
+
+    def subscribe(self, pattern, handler, location):
+        """Register a subscriber; retained messages replay immediately."""
+        if not pattern:
+            raise ConfigurationError("topic pattern must be non-empty")
+        subscription = Subscription(pattern, handler, location)
+        self._subscriptions.append(subscription)
+        for topic, retained in self._retained.items():
+            if topic_matches(pattern, topic):
+                self._deliver(subscription, topic, retained.payload)
+        return subscription
+
+    def publish(self, topic, payload, publisher_location, retain=False):
+        """Publish; returns a process event (fires when broker accepted).
+
+        Delivery to subscribers continues asynchronously after accept,
+        matching QoS-0/1 behaviour.
+        """
+        if "+" in topic or "#" in topic:
+            raise ConfigurationError(f"cannot publish to wildcard topic {topic!r}")
+        return self.env.process(self._publish(topic, payload, publisher_location,
+                                              retain))
+
+    def _publish(self, topic, payload, publisher_location, retain):
+        yield self.network.transfer(publisher_location, self.location)
+        delay = self.forward_overhead + self.per_byte * estimate_size(payload)
+        yield self.env.timeout(delay)
+        self.published += 1
+        if retain:
+            self._retained[topic] = _Retained(topic, payload, self.env.now)
+        for subscription in list(self._subscriptions):
+            if subscription.active and topic_matches(subscription.pattern, topic):
+                self._deliver(subscription, topic, payload)
+
+    def _deliver(self, subscription, topic, payload):
+        link = self.network.link(self.location, subscription.location)
+        subscription.delivered += 1
+        self.delivered += 1
+        link.send(lambda msg: subscription.handler(*msg), (topic, payload))
+
+    def subscriptions_for(self, topic):
+        return [
+            s
+            for s in self._subscriptions
+            if s.active and topic_matches(s.pattern, topic)
+        ]

@@ -1,0 +1,79 @@
+"""Message codecs: the schema-sharing coupling of Pub/Sub composition.
+
+In the paper's smart home example, "for each service, the developer uses
+Protobuf to define schemas for the messages exchanged among devices.  For
+example, H uses the schema of M and L to deserialize the messages from
+the two and vice versa."  A :class:`MessageCodec` is that artifact: the
+publisher defines it; every subscriber must hold a compatible copy, and a
+schema change breaks decoding (which is what task T3 exploits).
+"""
+
+import json
+
+from repro.errors import ReproError
+
+
+class CodecError(ReproError):
+    """Encoding/decoding failed (schema mismatch)."""
+
+
+class MessageCodec:
+    """A versioned, typed message schema with byte-level encode/decode.
+
+    ``fields`` maps field name -> python type (or tuple of types).
+    Encoding embeds the schema name + version; decoding verifies both,
+    so mismatched codec versions fail loudly -- like a Protobuf wire
+    format change does.
+    """
+
+    def __init__(self, name, version, fields):
+        if not name or not isinstance(version, int):
+            raise CodecError("codec needs a name and an integer version")
+        self.name = name
+        self.version = version
+        self.fields = dict(fields)
+
+    def encode(self, message):
+        """Validate and serialize a message dict to bytes."""
+        if not isinstance(message, dict):
+            raise CodecError(f"message must be a dict, got {type(message).__name__}")
+        unknown = set(message) - set(self.fields)
+        if unknown:
+            raise CodecError(f"{self.name} v{self.version}: unknown fields {sorted(unknown)}")
+        for field_name, expected in self.fields.items():
+            if field_name in message and message[field_name] is not None:
+                value = message[field_name]
+                if expected in (int, float) and isinstance(value, bool):
+                    raise CodecError(
+                        f"{self.name}.{field_name}: bool is not {expected.__name__}"
+                    )
+                if not isinstance(value, expected):
+                    raise CodecError(
+                        f"{self.name}.{field_name}: expected "
+                        f"{getattr(expected, '__name__', expected)}, "
+                        f"got {type(value).__name__}"
+                    )
+        envelope = {"_schema": self.name, "_v": self.version, "body": message}
+        return json.dumps(envelope, sort_keys=True).encode()
+
+    def decode(self, data):
+        """Deserialize and verify schema name + version."""
+        try:
+            envelope = json.loads(data.decode())
+        except (ValueError, AttributeError, UnicodeDecodeError) as exc:
+            raise CodecError(f"undecodable message: {exc}") from exc
+        if envelope.get("_schema") != self.name:
+            raise CodecError(
+                f"schema mismatch: expected {self.name!r}, "
+                f"got {envelope.get('_schema')!r}"
+            )
+        if envelope.get("_v") != self.version:
+            raise CodecError(
+                f"{self.name}: version mismatch (have v{self.version}, "
+                f"message is v{envelope.get('_v')})"
+            )
+        return envelope["body"]
+
+    def compatible_with(self, other):
+        """True if messages encoded by ``other`` decode under this codec."""
+        return self.name == other.name and self.version == other.version

@@ -1,0 +1,14 @@
+"""The REST baseline: an HTTP/JSON-style resource API built from scratch.
+
+The paper's abstract names three API-centric composition mechanisms --
+"RPC, REST, and Pub/Sub".  This package completes the trio: path-routed
+resources with the standard verb semantics, status codes, and a client.
+Like the other baselines it exists to make the coupling measurable: a
+composing service must hard-code the other service's URL structure and
+representation.
+"""
+
+from repro.rest.router import Route, Router
+from repro.rest.server import Request, Response, RestClient, RestServer
+
+__all__ = ["Request", "Response", "RestClient", "RestServer", "Route", "Router"]

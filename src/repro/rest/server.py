@@ -1,0 +1,141 @@
+"""REST server and client over the simulated network.
+
+Handlers receive a :class:`Request` and return a :class:`Response` (or a
+plain dict, treated as a 200 body; or a generator doing either).  Raised
+:class:`~repro.errors.ReproError` subclasses map to 500 unless the
+handler raises :func:`http_error` explicitly.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.rest.router import Router
+from repro.store.base import estimate_size
+
+
+class HTTPError(ReproError):
+    """Raise inside a handler to produce a specific status code."""
+
+    def __init__(self, status, message=""):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+@dataclass(frozen=True)
+class Request:
+    """One HTTP-ish request."""
+
+    method: str
+    path: str
+    params: dict = field(default_factory=dict)  # extracted path params
+    query: dict = field(default_factory=dict)
+    body: dict = None
+
+
+@dataclass(frozen=True)
+class Response:
+    """One HTTP-ish response."""
+
+    status: int = 200
+    body: dict = None
+
+    @property
+    def ok(self):
+        return 200 <= self.status < 300
+
+
+class RestServer:
+    """Hosts a router at one network location."""
+
+    dispatch_overhead = 0.0004
+    per_byte = 1e-9
+
+    def __init__(self, env, network, location):
+        self.env = env
+        self.network = network
+        self.location = location
+        self.router = Router()
+        self.requests_served = 0
+
+    def route(self, method, template, handler):
+        self.router.add(method, template, handler)
+        return self
+
+    def dispatch(self, request):
+        """Server-side execution; process event with the Response."""
+        return self.env.process(self._dispatch(request))
+
+    def _dispatch(self, request):
+        delay = self.dispatch_overhead + self.per_byte * estimate_size(
+            request.body or {}
+        )
+        yield self.env.timeout(delay)
+        handler, params = self.router.resolve(request.method, request.path)
+        if handler is None:
+            return Response(404, {"error": f"no route for {request.method} {request.path}"})
+        bound = Request(
+            method=request.method, path=request.path, params=params,
+            query=request.query, body=request.body,
+        )
+        try:
+            result = handler(bound)
+            if hasattr(result, "send"):
+                result = yield self.env.process(result)
+        except HTTPError as exc:
+            return Response(exc.status, {"error": exc.message})
+        except ReproError as exc:
+            return Response(500, {"error": str(exc)})
+        self.requests_served += 1
+        if isinstance(result, Response):
+            return result
+        return Response(200, result if result is not None else {})
+
+
+class RestClient:
+    """A caller's connection to one REST server."""
+
+    def __init__(self, env, server, client_location):
+        self.env = env
+        self.server = server
+        self.client_location = client_location
+        self.requests_made = 0
+
+    def request(self, method, path, body=None, query=None, raise_for_status=True):
+        """Round-trip one request; process event with the Response.
+
+        With ``raise_for_status`` (default), non-2xx responses raise
+        :class:`HTTPError` -- composition code must handle it, which is
+        part of the coupling cost the paper counts.
+        """
+        return self.env.process(
+            self._request(method, path, body, query or {}, raise_for_status)
+        )
+
+    def _request(self, method, path, body, query, raise_for_status):
+        self.requests_made += 1
+        net = self.server.network
+        yield net.transfer(self.client_location, self.server.location)
+        response = yield self.server.dispatch(
+            Request(method=method, path=path, body=body, query=query)
+        )
+        yield net.transfer(self.server.location, self.client_location)
+        if raise_for_status and not response.ok:
+            message = (response.body or {}).get("error", "")
+            raise HTTPError(response.status, message)
+        return response
+
+    def get(self, path, **kwargs):
+        return self.request("GET", path, **kwargs)
+
+    def post(self, path, body=None, **kwargs):
+        return self.request("POST", path, body=body, **kwargs)
+
+    def put(self, path, body=None, **kwargs):
+        return self.request("PUT", path, body=body, **kwargs)
+
+    def patch(self, path, body=None, **kwargs):
+        return self.request("PATCH", path, body=body, **kwargs)
+
+    def delete(self, path, **kwargs):
+        return self.request("DELETE", path, **kwargs)

@@ -1,0 +1,33 @@
+"""The RPC baseline: a gRPC/Protobuf-like stack built from scratch.
+
+This is the *API-centric* composition mechanism the paper compares
+against.  It deliberately reproduces the coupling artifacts of real RPC
+stacks, because Table 1 counts them:
+
+- services define ``.proto``-style IDL files (:mod:`repro.rpc.idl`),
+- clients generate stub code from those files (:mod:`repro.rpc.codegen`)
+  -- real source text, counted by the SLOC benchmarks,
+- calls are synchronous request/response over the simulated network
+  (:mod:`repro.rpc.channel`), with status codes and deadlines.
+"""
+
+from repro.rpc.idl import IDLFile, Message, MessageField, RPCMethod, Service, parse_idl
+from repro.rpc.codegen import build_client_class, generate_client_stub
+from repro.rpc.channel import RPCChannel, RPCServer
+from repro.errors import IDLError, RPCError, RPCStatusError
+
+__all__ = [
+    "IDLError",
+    "IDLFile",
+    "Message",
+    "MessageField",
+    "RPCChannel",
+    "RPCError",
+    "RPCMethod",
+    "RPCServer",
+    "RPCStatusError",
+    "Service",
+    "build_client_class",
+    "generate_client_stub",
+    "parse_idl",
+]

@@ -1,0 +1,49 @@
+"""Data-store schema system.
+
+Knactors *externalize* their state: each data store declares a schema (the
+paper's Fig. 5) that names its fields, their types, and ``+kr`` annotations
+marking which fields are filled externally by an integrator (``external``)
+or ingestible from other stores (``ingest``).  Schemas are registered on the
+Data Exchange so integrator developers can compose services from schemas
+alone, without reading service code.
+"""
+
+from repro.schema.annotations import ANNOTATION_PREFIX, Annotations, parse_annotation
+from repro.schema.diff import SchemaDiff, diff_schemas
+from repro.schema.registry import SchemaRegistry
+from repro.schema.schema import Field, Schema, SchemaName
+from repro.schema.types import (
+    AnyType,
+    ArrayType,
+    BooleanType,
+    FieldType,
+    IntegerType,
+    NumberType,
+    ObjectType,
+    StringType,
+    parse_type,
+)
+from repro.schema.validation import ValidationResult, validate_state
+
+__all__ = [
+    "ANNOTATION_PREFIX",
+    "Annotations",
+    "AnyType",
+    "ArrayType",
+    "BooleanType",
+    "Field",
+    "FieldType",
+    "IntegerType",
+    "NumberType",
+    "ObjectType",
+    "Schema",
+    "SchemaDiff",
+    "SchemaName",
+    "SchemaRegistry",
+    "StringType",
+    "ValidationResult",
+    "diff_schemas",
+    "parse_annotation",
+    "parse_type",
+    "validate_state",
+]

@@ -1,0 +1,76 @@
+"""``+kr`` field annotations.
+
+In the paper's schema listings, fields are annotated with trailing comments
+such as ``# +kr: external`` (Fig. 5).  Annotations drive the development
+workflow's *Express* step: they declare which fields an integrator may fill
+(``external``), which the store can ingest from other services' data
+(``ingest``), which must never leave the store unmasked (``secret``), and
+which are write-once (``immutable``).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+
+#: Trailing-comment prefix that marks a Knactor annotation.
+ANNOTATION_PREFIX = "+kr:"
+
+KNOWN_ANNOTATIONS = frozenset({"external", "ingest", "secret", "immutable"})
+
+
+@dataclass(frozen=True)
+class Annotations:
+    """The parsed annotation set of one field."""
+
+    tokens: frozenset = field(default_factory=frozenset)
+
+    @property
+    def external(self):
+        """Field is filled externally, by an integrator."""
+        return "external" in self.tokens
+
+    @property
+    def ingest(self):
+        """Field accepts data ingested from other stores (Log DE)."""
+        return "ingest" in self.tokens
+
+    @property
+    def secret(self):
+        """Field is masked from any reader without an explicit grant."""
+        return "secret" in self.tokens
+
+    @property
+    def immutable(self):
+        """Field may be written once and never changed."""
+        return "immutable" in self.tokens
+
+    def describe(self):
+        if not self.tokens:
+            return ""
+        return f"{ANNOTATION_PREFIX} {', '.join(sorted(self.tokens))}"
+
+    def __bool__(self):
+        return bool(self.tokens)
+
+
+def parse_annotation(comment):
+    """Parse a trailing-comment string into :class:`Annotations`.
+
+    Comments without the ``+kr:`` prefix produce an empty annotation set
+    (they are ordinary comments).  Unknown tokens after the prefix are an
+    error -- silent typos in access annotations would be a security bug.
+    """
+    if comment is None:
+        return Annotations()
+    text = comment.strip()
+    if not text.startswith(ANNOTATION_PREFIX):
+        return Annotations()
+    body = text[len(ANNOTATION_PREFIX) :].strip()
+    tokens = {tok.strip() for tok in body.split(",") if tok.strip()}
+    unknown = tokens - KNOWN_ANNOTATIONS
+    if unknown:
+        raise SchemaError(
+            f"unknown +kr annotation(s): {sorted(unknown)} "
+            f"(known: {sorted(KNOWN_ANNOTATIONS)})"
+        )
+    return Annotations(frozenset(tokens))

@@ -1,0 +1,84 @@
+"""Schema registry hosted on a Data Exchange.
+
+The development workflow's *Externalize* step (paper §3.2) registers each
+data store's schema with the DE.  The registry:
+
+- keeps every registered version (names embed a version component),
+- gates re-registration of an existing version behind a backward-
+  compatibility check (breaking changes require ``allow_breaking=True``,
+  mirroring a deliberate major-version bump),
+- is the only thing integrator developers can see about a store --
+  per the paper's access-control design, "developers can only view data
+  store schemas, not actual states".
+"""
+
+from repro.errors import NotFoundError, SchemaError
+from repro.schema.diff import diff_schemas
+from repro.schema.schema import SchemaName
+
+
+class SchemaRegistry:
+    """Versioned registry of data-store schemas."""
+
+    def __init__(self):
+        self._schemas = {}
+
+    def register(self, schema, allow_breaking=False):
+        """Register or update a schema.
+
+        Updating an existing name with a backward-incompatible change
+        raises :class:`SchemaError` unless ``allow_breaking`` is set.
+        Returns the :class:`~repro.schema.diff.SchemaDiff` against the
+        previous registration (empty diff for first registration).
+        """
+        key = str(schema.name)
+        previous = self._schemas.get(key)
+        if previous is None:
+            self._schemas[key] = schema
+            return diff_schemas(schema, schema)
+        delta = diff_schemas(previous, schema)
+        if not delta.is_backward_compatible() and not allow_breaking:
+            raise SchemaError(
+                f"breaking change to {key}: {delta.summary()} "
+                "(pass allow_breaking=True to force)"
+            )
+        self._schemas[key] = schema
+        return delta
+
+    def get(self, name):
+        key = str(SchemaName.parse(name))
+        try:
+            return self._schemas[key]
+        except KeyError:
+            raise NotFoundError(f"schema {key!r} is not registered") from None
+
+    def exists(self, name):
+        return str(SchemaName.parse(name)) in self._schemas
+
+    def names(self):
+        """All registered schema names, sorted."""
+        return sorted(self._schemas)
+
+    def for_service(self, app, service):
+        """All schemas registered by one service, any version."""
+        return [
+            s
+            for s in self._schemas.values()
+            if s.name.app == app and s.name.service == service
+        ]
+
+    def versions(self, app, service, resource=""):
+        """Registered versions of one resource, sorted."""
+        return sorted(
+            s.name.version
+            for s in self._schemas.values()
+            if s.name.app == app
+            and s.name.service == service
+            and s.name.resource == resource
+        )
+
+    def __len__(self):
+        return len(self._schemas)
+
+    def __contains__(self, name):
+        return self.exists(name)

@@ -1,0 +1,135 @@
+"""Field types for data-store schemas.
+
+Types mirror what the paper's examples use (Fig. 5): ``object``, ``string``,
+``number``, plus the obvious companions (``integer``, ``boolean``, ``array``,
+``any``).  Arrays may constrain their element type: ``array<string>``.
+"""
+
+from repro.errors import SchemaError
+
+
+class FieldType:
+    """Base class for schema field types."""
+
+    name = "any"
+
+    def check(self, value):
+        """True if ``value`` conforms to this type (None always conforms)."""
+        raise NotImplementedError
+
+    def describe(self):
+        """Render back to the schema-text spelling."""
+        return self.name
+
+    def __eq__(self, other):
+        return type(self) is type(other) and self.describe() == other.describe()
+
+    def __hash__(self):
+        return hash(self.describe())
+
+    def __repr__(self):
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+class AnyType(FieldType):
+    """Accepts anything."""
+
+    name = "any"
+
+    def check(self, value):
+        return True
+
+
+class StringType(FieldType):
+    name = "string"
+
+    def check(self, value):
+        return value is None or isinstance(value, str)
+
+
+class NumberType(FieldType):
+    """Accepts ints and floats (bools are *not* numbers)."""
+
+    name = "number"
+
+    def check(self, value):
+        return value is None or (
+            isinstance(value, (int, float)) and not isinstance(value, bool)
+        )
+
+
+class IntegerType(FieldType):
+    name = "integer"
+
+    def check(self, value):
+        return value is None or (
+            isinstance(value, int) and not isinstance(value, bool)
+        )
+
+
+class BooleanType(FieldType):
+    name = "boolean"
+
+    def check(self, value):
+        return value is None or isinstance(value, bool)
+
+
+class ObjectType(FieldType):
+    """A nested attribute-value object; open (any keys) by default."""
+
+    name = "object"
+
+    def check(self, value):
+        return value is None or isinstance(value, dict)
+
+
+class ArrayType(FieldType):
+    """A list, optionally constrained to a uniform element type."""
+
+    name = "array"
+
+    def __init__(self, element_type=None):
+        self.element_type = element_type
+
+    def check(self, value):
+        if value is None:
+            return True
+        if not isinstance(value, list):
+            return False
+        if self.element_type is None:
+            return True
+        return all(self.element_type.check(item) for item in value)
+
+    def describe(self):
+        if self.element_type is None:
+            return "array"
+        return f"array<{self.element_type.describe()}>"
+
+
+_SIMPLE_TYPES = {
+    "any": AnyType,
+    "string": StringType,
+    "number": NumberType,
+    "integer": IntegerType,
+    "int": IntegerType,
+    "boolean": BooleanType,
+    "bool": BooleanType,
+    "object": ObjectType,
+}
+
+
+def parse_type(text):
+    """Parse a type spelling like ``"number"`` or ``"array<string>"``."""
+    if isinstance(text, FieldType):
+        return text
+    if not isinstance(text, str):
+        raise SchemaError(f"type spelling must be a string, got {text!r}")
+    spelling = text.strip()
+    if spelling in _SIMPLE_TYPES:
+        return _SIMPLE_TYPES[spelling]()
+    if spelling == "array":
+        return ArrayType()
+    if spelling.startswith("array<") and spelling.endswith(">"):
+        inner = spelling[len("array<") : -1]
+        return ArrayType(parse_type(inner))
+    raise SchemaError(f"unknown field type {text!r}")

@@ -1,0 +1,200 @@
+"""Network links with pluggable latency models.
+
+The substrates (stores, RPC channels, brokers) communicate over
+:class:`Link` objects.  A link samples a latency from its
+:class:`LatencyModel` and delivers the message by invoking a handler (or
+fulfilling an event) after that delay.  FIFO links additionally guarantee
+per-link ordering even when sampled latencies would reorder messages, which
+matches TCP-like transports.
+"""
+
+import math
+import random
+
+from repro.errors import ConfigurationError
+
+
+class LatencyModel:
+    """Base class: samples per-message one-way delays in seconds."""
+
+    def sample(self):
+        raise NotImplementedError
+
+    def mean(self):
+        """Analytic mean of the distribution (used by planners/tests)."""
+        raise NotImplementedError
+
+
+class FixedLatency(LatencyModel):
+    """Constant delay."""
+
+    def __init__(self, delay):
+        if delay < 0:
+            raise ConfigurationError(f"negative latency {delay}")
+        self.delay = float(delay)
+
+    def sample(self):
+        return self.delay
+
+    def mean(self):
+        return self.delay
+
+    def __repr__(self):
+        return f"FixedLatency({self.delay})"
+
+
+class UniformLatency(LatencyModel):
+    """Uniform delay in ``[low, high]``."""
+
+    def __init__(self, low, high, seed=None):
+        if low < 0 or high < low:
+            raise ConfigurationError(f"invalid uniform range [{low}, {high}]")
+        self.low = float(low)
+        self.high = float(high)
+        self._rng = random.Random(seed)
+
+    def sample(self):
+        return self._rng.uniform(self.low, self.high)
+
+    def mean(self):
+        return (self.low + self.high) / 2.0
+
+    def __repr__(self):
+        return f"UniformLatency({self.low}, {self.high})"
+
+
+class ExponentialLatency(LatencyModel):
+    """Exponential delay with the given mean, plus an optional floor."""
+
+    def __init__(self, mean, floor=0.0, seed=None):
+        if mean <= 0 or floor < 0:
+            raise ConfigurationError(
+                f"invalid exponential parameters mean={mean} floor={floor}"
+            )
+        self._mean = float(mean)
+        self.floor = float(floor)
+        self._rng = random.Random(seed)
+
+    def sample(self):
+        return self.floor + self._rng.expovariate(1.0 / self._mean)
+
+    def mean(self):
+        return self.floor + self._mean
+
+    def __repr__(self):
+        return f"ExponentialLatency(mean={self._mean}, floor={self.floor})"
+
+
+class LogNormalLatency(LatencyModel):
+    """Log-normal delay parameterized by its *actual* median and sigma.
+
+    Real network / service-time distributions are heavy-tailed; the paper's
+    shipment-processing stage (FedEx API, ~446 ms) is modelled this way.
+    """
+
+    def __init__(self, median, sigma=0.1, seed=None):
+        if median <= 0 or sigma < 0:
+            raise ConfigurationError(
+                f"invalid lognormal parameters median={median} sigma={sigma}"
+            )
+        self.median = float(median)
+        self.sigma = float(sigma)
+        self._mu = math.log(median)
+        self._rng = random.Random(seed)
+
+    def sample(self):
+        if self.sigma == 0:
+            return self.median
+        return self._rng.lognormvariate(self._mu, self.sigma)
+
+    def mean(self):
+        return math.exp(self._mu + self.sigma**2 / 2.0)
+
+    def __repr__(self):
+        return f"LogNormalLatency(median={self.median}, sigma={self.sigma})"
+
+
+class Link:
+    """One-way message pipe with latency and optional FIFO ordering."""
+
+    def __init__(self, env, latency=None, fifo=True, name=""):
+        self.env = env
+        self.latency = latency if latency is not None else FixedLatency(0.0)
+        self.fifo = fifo
+        self.name = name
+        self._last_delivery = -math.inf
+        self.delivered = 0
+
+    def send(self, handler, message):
+        """Deliver ``message`` to ``handler(message)`` after sampled latency."""
+        delay = self.latency.sample()
+        if self.fifo:
+            # Never deliver before a previously sent message on this link.
+            arrival = max(self.env.now + delay, self._last_delivery)
+            self._last_delivery = arrival
+            delay = arrival - self.env.now
+        event = self.env.event()
+
+        def fire(_evt):
+            self.delivered += 1
+            handler(message)
+
+        event.callbacks.append(fire)
+        event._ok = True
+        event._value = None
+        self.env.schedule(event, delay=delay)
+        return self.env.now + delay
+
+    def transfer(self, value=None):
+        """Event that fires with ``value`` after sampled latency.
+
+        Convenience for process code: ``result = yield link.transfer(x)``.
+        """
+        delay = self.latency.sample()
+        if self.fifo:
+            arrival = max(self.env.now + delay, self._last_delivery)
+            self._last_delivery = arrival
+            delay = arrival - self.env.now
+        self.delivered += 1
+        return self.env.timeout(delay, value)
+
+    def __repr__(self):
+        return f"<Link {self.name or id(self):#x} latency={self.latency!r}>"
+
+
+class Network:
+    """A registry of named endpoints and the links between them.
+
+    Links are created lazily with a default latency model; specific pairs
+    can be overridden (e.g. the integrator may be co-located with the DE).
+    """
+
+    def __init__(self, env, default_latency=None):
+        self.env = env
+        self.default_latency = (
+            default_latency if default_latency is not None else FixedLatency(0.0005)
+        )
+        self._links = {}
+        self._overrides = {}
+
+    def set_latency(self, src, dst, latency, symmetric=True):
+        """Override the latency model for ``src -> dst`` (and back)."""
+        self._overrides[(src, dst)] = latency
+        if symmetric:
+            self._overrides[(dst, src)] = latency
+        # Drop any cached links so the override takes effect.
+        self._links.pop((src, dst), None)
+        if symmetric:
+            self._links.pop((dst, src), None)
+
+    def link(self, src, dst):
+        """The (cached) FIFO link from ``src`` to ``dst``."""
+        key = (src, dst)
+        if key not in self._links:
+            latency = self._overrides.get(key, self.default_latency)
+            self._links[key] = Link(self.env, latency, name=f"{src}->{dst}")
+        return self._links[key]
+
+    def transfer(self, src, dst, value=None):
+        """Event firing with ``value`` after the ``src -> dst`` latency."""
+        return self.link(src, dst).transfer(value)

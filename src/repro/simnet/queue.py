@@ -1,0 +1,115 @@
+"""Blocking synchronization primitives for simulation processes.
+
+- :class:`Store` -- an unbounded-or-bounded FIFO queue; ``get()`` blocks the
+  calling process until an item is available, ``put()`` blocks while full.
+- :class:`Resource` -- a counting semaphore with FIFO granting; used to model
+  bounded server concurrency (e.g. a store's worker pool).
+"""
+
+from collections import deque
+
+from repro.simnet.events import Event
+
+
+class Store:
+    """FIFO queue of items shared between processes.
+
+    ``put`` and ``get`` both return events; processes ``yield`` them::
+
+        def producer(env, store):
+            yield store.put("item")
+
+        def consumer(env, store):
+            item = yield store.get()
+    """
+
+    def __init__(self, env, capacity=float("inf")):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items = deque()
+        self._getters = deque()
+        self._putters = deque()
+
+    def __len__(self):
+        return len(self.items)
+
+    def put(self, item):
+        """Event that fires once ``item`` has been enqueued."""
+        event = Event(self.env)
+        self._putters.append((event, item))
+        self._dispatch()
+        return event
+
+    def get(self):
+        """Event that fires with the next item once one is available."""
+        event = Event(self.env)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def _dispatch(self):
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._putters and len(self.items) < self.capacity:
+                put_event, item = self._putters.popleft()
+                self.items.append(item)
+                put_event.succeed()
+                progressed = True
+            while self._getters and self.items:
+                get_event = self._getters.popleft()
+                get_event.succeed(self.items.popleft())
+                progressed = True
+
+
+class Resource:
+    """Counting semaphore with FIFO grant order.
+
+    Usage::
+
+        def worker(env, resource):
+            yield resource.acquire()
+            try:
+                yield env.timeout(1.0)
+            finally:
+                resource.release()
+    """
+
+    def __init__(self, env, capacity=1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters = deque()
+
+    @property
+    def in_use(self):
+        """Number of currently held slots."""
+        return self._in_use
+
+    @property
+    def queued(self):
+        """Number of processes waiting for a slot."""
+        return len(self._waiters)
+
+    def acquire(self):
+        """Event that fires once a slot has been granted."""
+        event = Event(self.env)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self):
+        """Release one held slot, waking the next waiter if any."""
+        if self._in_use <= 0:
+            raise RuntimeError("release() without matching acquire()")
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            self._in_use -= 1

@@ -1,0 +1,151 @@
+"""Structured tracing for latency breakdowns.
+
+The Table 2 reproduction needs per-stage latencies (Checkout->integrator,
+integrator compute, integrator->Shipping, shipment processing).  Components
+record point events and spans on a shared :class:`Tracer`; the metrics layer
+aggregates them into the paper's rows.
+"""
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A point event: something happened at ``time``."""
+
+    time: float
+    category: str
+    name: str
+    attrs: dict = field(default_factory=dict)
+
+
+@dataclass
+class Span:
+    """A named interval, optionally keyed to a request/correlation id."""
+
+    category: str
+    name: str
+    start: float
+    end: float = None
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration(self):
+        if self.end is None:
+            raise ValueError(f"span {self.category}/{self.name} is still open")
+        return self.end - self.start
+
+
+class Tracer:
+    """Collects point events and spans during a simulation run."""
+
+    def __init__(self, env):
+        self.env = env
+        self.events = []
+        self._open_spans = {}
+        self.spans = []
+
+    def record(self, category, name, **attrs):
+        """Record a point event at the current virtual time."""
+        self.events.append(TraceEvent(self.env.now, category, name, attrs))
+
+    def begin(self, category, name, key=None, **attrs):
+        """Open a span; ``key`` distinguishes concurrent spans of one name."""
+        span = Span(category, name, self.env.now, attrs=attrs)
+        self._open_spans[(category, name, key)] = span
+        return span
+
+    def end(self, category, name, key=None, **attrs):
+        """Close the matching open span and return it."""
+        span = self._open_spans.pop((category, name, key), None)
+        if span is None:
+            raise KeyError(f"no open span ({category}, {name}, {key})")
+        span.end = self.env.now
+        span.attrs.update(attrs)
+        self.spans.append(span)
+        return span
+
+    def durations(self, category, name=None):
+        """All closed-span durations for a category (optionally one name)."""
+        return [
+            s.duration
+            for s in self.spans
+            if s.category == category and (name is None or s.name == name)
+        ]
+
+    def events_by_name(self, category=None):
+        """Point events grouped by ``(category, name)``."""
+        grouped = defaultdict(list)
+        for event in self.events:
+            if category is None or event.category == category:
+                grouped[(event.category, event.name)].append(event)
+        return dict(grouped)
+
+    def timestamps(self, category, name, key_attr=None):
+        """Times of matching point events, optionally keyed by an attribute.
+
+        With ``key_attr`` the result is a dict ``{attr_value: time}`` keeping
+        the *first* occurrence per key; without it, a sorted list of times.
+        """
+        if key_attr is None:
+            return sorted(
+                e.time
+                for e in self.events
+                if e.category == category and e.name == name
+            )
+        keyed = {}
+        for event in self.events:
+            if event.category == category and event.name == name:
+                key = event.attrs.get(key_attr)
+                if key is not None and key not in keyed:
+                    keyed[key] = event.time
+        return keyed
+
+    def clear(self):
+        """Drop all recorded events and spans."""
+        self.events.clear()
+        self.spans.clear()
+        self._open_spans.clear()
+
+    def to_chrome_trace(self):
+        """Export as Chrome trace-event JSON objects (``chrome://tracing``).
+
+        Point events become instant events (``ph: "i"``), closed spans
+        become complete events (``ph: "X"``).  Timestamps are microseconds
+        of virtual time; the category doubles as the process name so each
+        subsystem gets its own track.
+        """
+        out = []
+        for event in self.events:
+            out.append(
+                {
+                    "name": event.name,
+                    "cat": event.category,
+                    "ph": "i",
+                    "ts": event.time * 1e6,
+                    "pid": event.category,
+                    "tid": str(event.attrs.get("cid")
+                               or event.attrs.get("key") or 0),
+                    "s": "p",
+                    "args": dict(event.attrs),
+                }
+            )
+        for span in self.spans:
+            if span.end is None:
+                continue
+            out.append(
+                {
+                    "name": span.name,
+                    "cat": span.category,
+                    "ph": "X",
+                    "ts": span.start * 1e6,
+                    "dur": span.duration * 1e6,
+                    "pid": span.category,
+                    "tid": str(span.attrs.get("cid")
+                               or span.attrs.get("key") or 0),
+                    "args": dict(span.attrs),
+                }
+            )
+        out.sort(key=lambda entry: entry["ts"])
+        return out

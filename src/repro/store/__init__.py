@@ -1,0 +1,57 @@
+"""Data-store backends built from scratch.
+
+Three backends, mirroring the paper's prototype choices:
+
+- :mod:`repro.store.apiserver` -- a Kubernetes-apiserver-like Object store:
+  typed resources, ``resourceVersion`` optimistic concurrency, watch
+  streams, and an etcd-like persistence latency model.
+- :mod:`repro.store.memkv` -- a Redis-like in-memory k-v store: command
+  surface, keyspace notifications, and server-side functions (UDFs) used
+  for integrator push-down.
+- :mod:`repro.store.loglake` -- a Zed-lake-like Log store: append-only
+  pools of structured/semi-structured records with query operators.
+
+All backends are simulation processes: client operations return simnet
+events and take virtual time according to calibrated per-op latency models.
+"""
+
+from repro.store.base import (
+    ADDED,
+    DELETED,
+    MODIFIED,
+    OpLatency,
+    StoreClient,
+    StoreServer,
+    StoredObject,
+    WatchEvent,
+    estimate_size,
+)
+from repro.store.apiserver import ApiServer, ApiServerClient
+from repro.store.memkv import MemKV, MemKVClient
+from repro.store.loglake import APPENDED, LogLake, LogLakeClient
+from repro.store.retention import RefCountRetention, RetentionPolicy, TTLRetention
+from repro.store.udf import UDFContext, UDFRegistry
+
+__all__ = [
+    "ADDED",
+    "APPENDED",
+    "ApiServer",
+    "ApiServerClient",
+    "DELETED",
+    "LogLake",
+    "LogLakeClient",
+    "MODIFIED",
+    "MemKV",
+    "MemKVClient",
+    "OpLatency",
+    "RefCountRetention",
+    "RetentionPolicy",
+    "StoreClient",
+    "StoreServer",
+    "StoredObject",
+    "TTLRetention",
+    "UDFContext",
+    "UDFRegistry",
+    "WatchEvent",
+    "estimate_size",
+]

@@ -1,0 +1,263 @@
+"""Shared plumbing for simulated data-store backends.
+
+Every backend is split into a :class:`StoreServer` (owns the data, processes
+requests with per-operation latency, pushes watch events) and a
+:class:`StoreClient` (issued per caller location; adds network round-trip
+time).  Client operations return simnet *processes*, so callers write::
+
+    obj = yield client.get("orders/o-1")
+
+Latency model
+-------------
+Each operation costs ``base + payload_size * per_byte`` seconds of
+server-side time, where payload size is a rough serialized-JSON estimate.
+The per-byte term is what the zero-copy optimization (paper §3.3) removes
+for co-located clients.  Network time is taken from the shared
+:class:`~repro.simnet.network.Network` between the caller's location and the
+server's location; co-located callers pay nothing.
+"""
+
+import copy
+from dataclasses import dataclass, field
+
+from repro.errors import StoreError
+from repro.simnet.queue import Resource
+
+#: Watch event types (mirroring the Kubernetes watch protocol).
+ADDED = "ADDED"
+MODIFIED = "MODIFIED"
+DELETED = "DELETED"
+
+
+def estimate_size(value):
+    """Rough serialized size of a value, in bytes.
+
+    Deliberately cheap: the simulation calls this on every operation.
+    """
+    if value is None:
+        return 4
+    if isinstance(value, bool):
+        return 5
+    if isinstance(value, (int, float)):
+        return 8
+    if isinstance(value, str):
+        return len(value) + 2
+    if isinstance(value, (list, tuple)):
+        return 2 + sum(estimate_size(v) + 1 for v in value)
+    if isinstance(value, dict):
+        return 2 + sum(
+            estimate_size(k) + estimate_size(v) + 2 for k, v in value.items()
+        )
+    return 16
+
+
+@dataclass(frozen=True)
+class OpLatency:
+    """Server-side cost of one operation class."""
+
+    base: float
+    per_byte: float = 0.0
+
+    def cost(self, size):
+        return self.base + self.per_byte * size
+
+
+@dataclass(frozen=True)
+class WatchEvent:
+    """One change notification delivered to a watcher."""
+
+    type: str  # ADDED | MODIFIED | DELETED
+    key: str
+    object: dict
+    revision: int
+
+
+@dataclass
+class StoredObject:
+    """An object at rest in an Object store."""
+
+    key: str
+    data: dict
+    revision: int
+    created_at: float
+    updated_at: float
+    labels: dict = field(default_factory=dict)
+
+    def snapshot(self):
+        """Deep copy handed to clients (stores never alias live state)."""
+        return copy.deepcopy(self.data)
+
+
+class _Failure:
+    """Internal marker carrying a server-side exception to the client."""
+
+    __slots__ = ("exception",)
+
+    def __init__(self, exception):
+        self.exception = exception
+
+
+class Watch:
+    """A client's registration for change notifications.
+
+    ``cancel()`` stops delivery.  Events are delivered over the server->
+    client FIFO link, so a watcher sees changes in commit order.  When
+    the server fails over, the watch is closed server-side and the
+    client's ``on_close`` callback (if any) fires -- watchers re-watch
+    and resync, the way Kubernetes informers re-list.
+    """
+
+    def __init__(self, server, location, handler, key_prefix="", on_close=None):
+        self._server = server
+        self.location = location
+        self.handler = handler
+        self.key_prefix = key_prefix
+        self.on_close = on_close
+        self.active = True
+        self.delivered = 0
+
+    def matches(self, key):
+        return self.active and key.startswith(self.key_prefix)
+
+    def cancel(self):
+        self.active = False
+        if self in self._server._watches:
+            self._server._watches.remove(self)
+
+    def close(self):
+        """Server-initiated termination (failover): notify the client."""
+        if not self.active:
+            return
+        self.cancel()
+        if self.on_close is not None:
+            link = self._server.network.link(
+                self._server.location, self.location
+            )
+            link.send(lambda _msg: self.on_close(), None)
+
+
+class StoreServer:
+    """Base class for backend servers.
+
+    Subclasses define ``OPS`` (operation name -> :class:`OpLatency`) and an
+    ``op_<name>`` method per operation.  Requests are admitted through a
+    bounded worker pool (default 1: the stores we model are effectively
+    single-threaded per key space, which also keeps commit order coherent).
+    """
+
+    OPS = {}
+
+    def __init__(self, env, network, location, workers=1, tracer=None):
+        self.env = env
+        self.network = network
+        self.location = location
+        self.tracer = tracer
+        self._worker_pool = Resource(env, capacity=workers)
+        # Registration order, NOT a set: fan-out order must be
+        # deterministic across runs (hash randomization must not leak
+        # into event schedules).
+        self._watches = []
+        self.op_counts = {}
+        self.revision = 0
+
+    # -- request processing ------------------------------------------------
+
+    def handle(self, op, args):
+        """Process one request; returns a simnet process event.
+
+        The event's value is the op result, or a :class:`_Failure` that the
+        client converts back into an exception (server errors must not
+        crash the event loop).
+        """
+        return self.env.process(self._handle(op, args))
+
+    def _handle(self, op, args):
+        yield self._worker_pool.acquire()
+        try:
+            method = getattr(self, f"op_{op}", None)
+            if method is None:
+                raise StoreError(f"{type(self).__name__} has no operation {op!r}")
+            latency = self.OPS.get(op)
+            if latency is not None:
+                size = estimate_size(args)
+                delay = latency.cost(size)
+                if delay > 0:
+                    yield self.env.timeout(delay)
+            self.op_counts[op] = self.op_counts.get(op, 0) + 1
+            result = method(**args)
+            if hasattr(result, "send"):  # op implemented as a sub-process
+                result = yield self.env.process(result)
+            return result
+        except StoreError as exc:
+            return _Failure(exc)
+        finally:
+            self._worker_pool.release()
+
+    # -- watch fan-out -----------------------------------------------------
+
+    def register_watch(self, watch):
+        self._watches.append(watch)
+
+    def notify(self, event):
+        """Fan an event out to all matching watchers over their links."""
+        for watch in list(self._watches):
+            if watch.matches(event.key):
+                link = self.network.link(self.location, watch.location)
+                watch.delivered += 1
+                link.send(watch.handler, event)
+
+    def next_revision(self):
+        self.revision += 1
+        return self.revision
+
+    def fail_over(self):
+        """Simulate a server failover: data survives, watches do not.
+
+        Every active watch is closed (clients with ``on_close`` get told
+        and are expected to re-watch + resync).  Returns how many watches
+        were dropped.
+        """
+        dropped = list(self._watches)
+        for watch in dropped:
+            watch.close()
+        return len(dropped)
+
+
+class StoreClient:
+    """Base class for backend clients bound to one caller location."""
+
+    def __init__(self, server, location):
+        self.server = server
+        self.env = server.env
+        self.location = location
+
+    @property
+    def colocated(self):
+        return self.location == self.server.location
+
+    def request(self, op, **args):
+        """Round-trip one operation; returns a simnet process event."""
+        return self.env.process(self._request(op, args))
+
+    def _request(self, op, args):
+        if not self.colocated:
+            yield self.server.network.transfer(self.location, self.server.location)
+        result = yield self.server.handle(op, args)
+        if not self.colocated:
+            yield self.server.network.transfer(self.server.location, self.location)
+        if isinstance(result, _Failure):
+            raise result.exception
+        return result
+
+    def watch(self, handler, key_prefix="", on_close=None):
+        """Register ``handler(WatchEvent)`` for matching changes.
+
+        Registration itself is immediate (steady-state watches are the
+        common case; connection setup is not modelled).  ``on_close``
+        fires if the server drops the watch (failover).  Returns the
+        :class:`Watch` handle for cancellation.
+        """
+        watch = Watch(self.server, self.location, handler, key_prefix,
+                      on_close=on_close)
+        self.server.register_watch(watch)
+        return watch

@@ -1,0 +1,151 @@
+"""A Redis-like in-memory k-v store.
+
+This is the high-performance Object backend of the paper's ``K-redis``
+configuration.  Compared to the apiserver backend:
+
+- operations execute in microseconds-to-sub-millisecond (no persistence
+  quorum on the write path),
+- keyspace notifications play the role of watch events (delivered with
+  negligible server overhead),
+- server-side functions (:mod:`repro.store.udf`) enable integrator
+  push-down (``K-redis-udf`` in Table 2).
+
+The object-level operation surface (create/get/update/patch/delete/list/
+txn) matches the apiserver client so the Object Data Exchange can host
+data stores on either backend unchanged.  Optimistic concurrency is
+emulated with per-key revisions (as one would with ``WATCH``/``MULTI`` or
+a Lua compare-and-set in real Redis); transactions correspond to
+``MULTI``/``EXEC``.  A small raw command surface (GET / SET / INCR / ...)
+is also provided for code that wants Redis semantics directly.
+"""
+
+from repro.errors import StoreError
+from repro.store.base import OpLatency, StoreClient, StoreServer
+from repro.store.objectops import ObjectOpsMixin
+from repro.store.udf import UDFContext, UDFRegistry
+
+#: Redis-class latencies: in-memory, no fsync on the critical path.
+DEFAULT_OPS = {
+    "create": OpLatency(base=0.00035, per_byte=1.5e-9),
+    "update": OpLatency(base=0.00035, per_byte=1.5e-9),
+    "patch": OpLatency(base=0.00040, per_byte=1.5e-9),
+    "delete": OpLatency(base=0.00030),
+    "get": OpLatency(base=0.00020, per_byte=0.5e-9),
+    "list": OpLatency(base=0.00060, per_byte=0.5e-9),
+    "command": OpLatency(base=0.00015),
+    "fcall": OpLatency(base=0.00030),
+    "txn": OpLatency(base=0.00050, per_byte=1.5e-9),
+}
+
+
+class MemKV(ObjectOpsMixin, StoreServer):
+    """The server side of the Redis-like store."""
+
+    OPS = dict(DEFAULT_OPS)
+
+    def __init__(
+        self,
+        env,
+        network,
+        location="memkv",
+        workers=1,
+        tracer=None,
+        ops=None,
+        watch_overhead=0.00015,
+        local_access_cost=0.00005,
+    ):
+        super().__init__(env, network, location, workers=workers, tracer=tracer)
+        if ops:
+            self.OPS = {**self.OPS, **ops}
+        self._objects = {}
+        self._strings = {}
+        self.functions = UDFRegistry()
+        self.watch_overhead = watch_overhead
+        self.local_access_cost = local_access_cost
+
+    # -- raw command surface -------------------------------------------------
+
+    def op_command(self, name, args=()):
+        name = name.upper()
+        if name == "SET":
+            key, value = args
+            self._strings[key] = value
+            return "OK"
+        if name == "GET":
+            return self._strings.get(args[0])
+        if name == "DEL":
+            removed = 0
+            for key in args:
+                if self._strings.pop(key, None) is not None:
+                    removed += 1
+            return removed
+        if name == "INCR":
+            key = args[0]
+            value = int(self._strings.get(key, 0)) + 1
+            self._strings[key] = value
+            return value
+        if name == "KEYS":
+            prefix = args[0] if args else ""
+            return sorted(k for k in self._strings if k.startswith(prefix))
+        if name == "EXISTS":
+            return sum(1 for key in args if key in self._strings)
+        raise StoreError(f"unknown command {name!r}")
+
+    # -- server-side functions -------------------------------------------------
+
+    def op_fcall(self, name, args=()):
+        """Execute a registered UDF server-side.
+
+        The caller pays one round trip; the function's state accesses are
+        charged at local-memory cost.  Implemented as a sub-process so the
+        execution + local-access time elapses on the virtual clock, and
+        the execution cost elapses BEFORE the function's writes commit.
+        """
+        fn, cost = self.functions.get(name)
+
+        def run(env):
+            if cost > 0:
+                yield env.timeout(cost)
+            ctx = UDFContext(self)
+            result = fn(ctx, *args)
+            delay = ctx.ops * self.local_access_cost
+            if delay > 0:
+                yield env.timeout(delay)
+            return result
+
+        return run(self.env)
+
+
+class MemKVClient(StoreClient):
+    """Typed convenience client for the Redis-like store."""
+
+    def create(self, key, data, labels=None):
+        return self.request("create", key=key, data=data, labels=labels)
+
+    def get(self, key):
+        return self.request("get", key=key)
+
+    def update(self, key, data, resource_version=None):
+        return self.request(
+            "update", key=key, data=data, resource_version=resource_version
+        )
+
+    def patch(self, key, patch, resource_version=None):
+        return self.request(
+            "patch", key=key, patch=patch, resource_version=resource_version
+        )
+
+    def delete(self, key):
+        return self.request("delete", key=key)
+
+    def list(self, key_prefix=""):
+        return self.request("list", key_prefix=key_prefix)
+
+    def txn(self, ops):
+        return self.request("txn", ops=ops)
+
+    def command(self, name, *args):
+        return self.request("command", name=name, args=args)
+
+    def fcall(self, name, *args):
+        return self.request("fcall", name=name, args=args)

@@ -1,0 +1,197 @@
+"""Shared object-store operations for the Object backends.
+
+The apiserver-like and Redis-like backends expose the same logical
+object surface (create/get/update/patch/delete/list + transactions);
+they differ in latency calibration, watch fan-out, persistence history,
+and extras (commands, UDFs).  This mixin holds the shared semantics.
+
+Transactions (paper §5, "run-time primitives such as transactions"):
+``op_txn`` applies a list of operations atomically -- every precondition
+(existence, resourceVersion) is validated against current state first;
+if any fails, *nothing* is applied.  All resulting watch events carry
+revisions from one contiguous block, so observers see the transaction's
+effects in order.
+"""
+
+import copy
+
+from repro.errors import (
+    AlreadyExistsError,
+    ConflictError,
+    NotFoundError,
+    StoreError,
+)
+from repro.store.base import ADDED, DELETED, MODIFIED, StoredObject, WatchEvent
+
+
+def merge_patch(data, patch):
+    """Recursive merge: dicts merge per key, everything else replaces.
+
+    ``None`` values in the patch delete the key (JSON-merge-patch style).
+    """
+    result = copy.deepcopy(data)
+    _merge_into(result, patch)
+    return result
+
+
+def _merge_into(target, patch):
+    for key, value in patch.items():
+        if value is None:
+            target.pop(key, None)
+        elif isinstance(value, dict) and isinstance(target.get(key), dict):
+            _merge_into(target[key], value)
+        else:
+            target[key] = copy.deepcopy(value)
+
+
+class ObjectOpsMixin:
+    """CRUD + transactions over ``self._objects`` (key -> StoredObject)."""
+
+    # -- single operations ---------------------------------------------------
+
+    def op_create(self, key, data, labels=None):
+        if key in self._objects:
+            raise AlreadyExistsError(f"object {key!r} already exists")
+        revision = self.next_revision()
+        obj = StoredObject(
+            key=key,
+            data=copy.deepcopy(data),
+            revision=revision,
+            created_at=self.env.now,
+            updated_at=self.env.now,
+            labels=dict(labels or {}),
+        )
+        self._objects[key] = obj
+        self._commit(ADDED, obj)
+        return self._view(obj)
+
+    def op_get(self, key):
+        obj = self._objects.get(key)
+        if obj is None:
+            raise NotFoundError(f"object {key!r} not found")
+        return self._view(obj)
+
+    def op_update(self, key, data, resource_version=None):
+        obj = self._require(key, resource_version)
+        obj.data = copy.deepcopy(data)
+        obj.revision = self.next_revision()
+        obj.updated_at = self.env.now
+        self._commit(MODIFIED, obj)
+        return self._view(obj)
+
+    def op_patch(self, key, patch, resource_version=None):
+        obj = self._require(key, resource_version)
+        obj.data = merge_patch(obj.data, patch)
+        obj.revision = self.next_revision()
+        obj.updated_at = self.env.now
+        self._commit(MODIFIED, obj)
+        return self._view(obj)
+
+    def op_delete(self, key):
+        obj = self._objects.pop(key, None)
+        if obj is None:
+            raise NotFoundError(f"object {key!r} not found")
+        obj.revision = self.next_revision()
+        self._commit(DELETED, obj)
+        return None
+
+    def op_list(self, key_prefix=""):
+        return [
+            self._view(obj)
+            for key, obj in sorted(self._objects.items())
+            if key.startswith(key_prefix)
+        ]
+
+    # -- transactions -----------------------------------------------------------
+
+    def op_txn(self, ops):
+        """Apply a list of operations atomically (all-or-nothing).
+
+        Each entry: ``{"action": "create"|"update"|"patch"|"delete",
+        "key": ..., "data"/"patch": ..., "resource_version": ...}``.
+        Validation happens against the *current* state plus earlier ops
+        in the same transaction (e.g. create-then-patch is legal).
+        Returns the list of resulting views (None for deletes).
+        """
+        if not isinstance(ops, list) or not ops:
+            raise StoreError("transaction needs a non-empty op list")
+        # Phase 1: validate everything against a shadow state.
+        shadow = {key: obj.revision for key, obj in self._objects.items()}
+        for index, op in enumerate(ops):
+            action = op.get("action")
+            key = op.get("key")
+            if action not in ("create", "update", "patch", "delete"):
+                raise StoreError(f"txn op {index}: unknown action {action!r}")
+            if not key:
+                raise StoreError(f"txn op {index}: missing key")
+            if action == "create":
+                if key in shadow:
+                    raise AlreadyExistsError(
+                        f"txn op {index}: object {key!r} already exists"
+                    )
+                shadow[key] = None  # exists from here on
+            else:
+                if key not in shadow:
+                    raise NotFoundError(f"txn op {index}: object {key!r} not found")
+                expected = op.get("resource_version")
+                if expected is not None and shadow[key] != expected:
+                    raise ConflictError(
+                        f"txn op {index}: object {key!r} changed "
+                        f"(expected revision {expected}, is {shadow[key]})"
+                    )
+                if action == "delete":
+                    del shadow[key]
+                else:
+                    shadow[key] = None  # revision consumed within the txn
+        # Phase 2: apply (cannot fail now).
+        views = []
+        for op in ops:
+            action = op["action"]
+            if action == "create":
+                views.append(self.op_create(op["key"], op.get("data") or {}))
+            elif action == "update":
+                views.append(self.op_update(op["key"], op.get("data") or {}))
+            elif action == "patch":
+                views.append(self.op_patch(op["key"], op.get("patch") or {}))
+            else:
+                views.append(self.op_delete(op["key"]))
+        return views
+
+    # -- shared internals ----------------------------------------------------------
+
+    def _require(self, key, resource_version):
+        obj = self._objects.get(key)
+        if obj is None:
+            raise NotFoundError(f"object {key!r} not found")
+        if resource_version is not None and resource_version != obj.revision:
+            raise ConflictError(
+                f"object {key!r} changed: expected revision "
+                f"{resource_version}, is {obj.revision}"
+            )
+        return obj
+
+    def _view(self, obj):
+        return {
+            "key": obj.key,
+            "data": obj.snapshot(),
+            "revision": obj.revision,
+            "created_at": obj.created_at,
+            "updated_at": obj.updated_at,
+        }
+
+    def _commit(self, event_type, obj):
+        event = WatchEvent(event_type, obj.key, obj.snapshot(), obj.revision)
+        self._record_commit(event)
+        if self.tracer is not None:
+            self.tracer.record(
+                "store", "commit", location=self.location, key=obj.key,
+                type=event_type, revision=obj.revision,
+            )
+        if self.watch_overhead <= 0:
+            self.notify(event)
+        else:
+            timer = self.env.timeout(self.watch_overhead)
+            timer.callbacks.append(lambda _evt: self.notify(event))
+
+    def _record_commit(self, event):
+        """Hook: the apiserver keeps a replayable history."""

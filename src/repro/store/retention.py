@@ -1,0 +1,150 @@
+"""State retention and garbage collection (paper §3.3).
+
+"By default, states in the data stores are preserved until they're no
+longer required by entities such as the knactor's reconciler or
+integrators.  State retention can be managed via reference counting [...]
+Once a reconciler or integrator has performed its operation on a state
+object, the object is marked as unused and the DEs can then perform
+garbage collection."
+
+Two policies are provided:
+
+- :class:`RefCountRetention` -- entities *register interest* in a key
+  prefix; an object becomes collectable only after every interested entity
+  has marked it done.
+- :class:`TTLRetention` -- archival-style policy: objects are collectable
+  once idle for ``ttl`` seconds.
+
+A :class:`GarbageCollector` process periodically sweeps an Object store
+through its client, deleting collectable objects.
+"""
+
+from repro.errors import ConfigurationError, NotFoundError
+
+
+class RetentionPolicy:
+    """Decides when an object key is safe to garbage-collect."""
+
+    def observe(self, key, updated_at):
+        """Called by the sweeper for every live object."""
+
+    def is_collectable(self, key, updated_at, now):
+        raise NotImplementedError
+
+
+class RefCountRetention(RetentionPolicy):
+    """Reference counting over declared readers.
+
+    ``register_reader("orders/", "integrator")`` declares that the
+    integrator must process every object under ``orders/`` before it can
+    be collected.  ``mark_done(key, "integrator")`` releases one
+    reference.  Objects with *no* interested readers are retained (never
+    collected) -- collecting unobserved state by default would be a
+    correctness hazard, not a feature.
+    """
+
+    def __init__(self):
+        self._readers = {}  # prefix -> set of entity names
+        self._done = {}  # key -> set of entity names that finished
+
+    def register_reader(self, key_prefix, entity):
+        if not entity:
+            raise ConfigurationError("entity name must be non-empty")
+        self._readers.setdefault(key_prefix, set()).add(entity)
+
+    def unregister_reader(self, key_prefix, entity):
+        readers = self._readers.get(key_prefix)
+        if readers:
+            readers.discard(entity)
+            if not readers:
+                del self._readers[key_prefix]
+
+    def readers_for(self, key):
+        """All entities that must process ``key`` before collection."""
+        interested = set()
+        for prefix, entities in self._readers.items():
+            if key.startswith(prefix):
+                interested |= entities
+        return interested
+
+    def mark_done(self, key, entity):
+        """Record that ``entity`` has finished processing ``key``."""
+        if entity not in self.readers_for(key):
+            raise NotFoundError(
+                f"{entity!r} is not a registered reader covering {key!r}"
+            )
+        self._done.setdefault(key, set()).add(entity)
+
+    def pending_for(self, key):
+        """Readers that still have to process ``key``."""
+        return self.readers_for(key) - self._done.get(key, set())
+
+    def is_collectable(self, key, updated_at, now):
+        readers = self.readers_for(key)
+        if not readers:
+            return False
+        return readers <= self._done.get(key, set())
+
+    def forget(self, key):
+        """Drop bookkeeping after the object was collected."""
+        self._done.pop(key, None)
+
+
+class TTLRetention(RetentionPolicy):
+    """Collect objects idle longer than ``ttl`` seconds."""
+
+    def __init__(self, ttl):
+        if ttl <= 0:
+            raise ConfigurationError(f"ttl must be positive, got {ttl}")
+        self.ttl = float(ttl)
+
+    def is_collectable(self, key, updated_at, now):
+        return (now - updated_at) >= self.ttl
+
+
+class GarbageCollector:
+    """Periodic sweep over an Object store, deleting collectable objects."""
+
+    def __init__(self, env, client, policy, interval=1.0, key_prefix=""):
+        if interval <= 0:
+            raise ConfigurationError(f"interval must be positive, got {interval}")
+        self.env = env
+        self.client = client
+        self.policy = policy
+        self.interval = interval
+        self.key_prefix = key_prefix
+        self.collected = []
+        self._running = False
+        self._process = None
+
+    def start(self):
+        if self._running:
+            return self._process
+        self._running = True
+        self._process = self.env.process(self._run(self.env))
+        return self._process
+
+    def stop(self):
+        self._running = False
+
+    def _run(self, env):
+        while self._running:
+            yield env.timeout(self.interval)
+            if not self._running:
+                return
+            yield env.process(self.sweep(env))
+
+    def sweep(self, env):
+        """One sweep pass (as a process so benches can run it directly)."""
+        objects = yield self.client.list(self.key_prefix)
+        for view in objects:
+            key = view["key"]
+            self.policy.observe(key, view["updated_at"])
+            if self.policy.is_collectable(key, view["updated_at"], env.now):
+                try:
+                    yield self.client.delete(key)
+                except NotFoundError:
+                    continue  # already gone (e.g. deleted by its owner)
+                self.collected.append((env.now, key))
+                if isinstance(self.policy, RefCountRetention):
+                    self.policy.forget(key)

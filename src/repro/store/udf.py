@@ -1,0 +1,100 @@
+"""Server-side functions (UDFs) for integrator push-down.
+
+The paper's §3.3 push-down optimization (evaluated as ``K-redis-udf`` in
+Table 2) moves composition logic *into* the data store, the way Redis
+Functions / stored procedures do.  A pushed-down integrator no longer pays
+a network round trip per state access: its reads and writes execute inside
+the store process at local-memory cost.
+
+A UDF is a plain Python callable ``fn(ctx, *args)`` receiving a
+:class:`UDFContext` bound to the live store.  Writes made through the
+context commit through the store's normal path, so watchers still see
+every change.
+"""
+
+from repro.errors import ConfigurationError, NotFoundError
+
+
+class UDFRegistry:
+    """Named server-side functions, with per-function execution cost."""
+
+    def __init__(self):
+        self._functions = {}
+
+    def register(self, name, fn, cost=0.0002):
+        """Register ``fn`` under ``name``; ``cost`` is its CPU time (s)."""
+        if not callable(fn):
+            raise ConfigurationError(f"UDF {name!r} must be callable")
+        if cost < 0:
+            raise ConfigurationError(f"UDF {name!r} has negative cost")
+        self._functions[name] = (fn, cost)
+
+    def unregister(self, name):
+        self._functions.pop(name, None)
+
+    def get(self, name):
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise NotFoundError(f"UDF {name!r} is not registered") from None
+
+    def names(self):
+        return sorted(self._functions)
+
+    def __contains__(self, name):
+        return name in self._functions
+
+    def __len__(self):
+        return len(self._functions)
+
+
+class UDFContext:
+    """Store access handle passed to a UDF while it runs server-side.
+
+    Every access is counted; the server charges ``local_access_cost``
+    per operation after the function returns (local memory ops, not
+    network round trips -- this is the entire point of push-down).
+    """
+
+    def __init__(self, server):
+        self._server = server
+        self.ops = 0
+
+    @property
+    def now(self):
+        return self._server.env.now
+
+    def get(self, key):
+        """Snapshot of one object's data (raises NotFoundError)."""
+        self.ops += 1
+        return self._server.op_get(key)
+
+    def exists(self, key):
+        self.ops += 1
+        try:
+            self._server.op_get(key)
+            return True
+        except NotFoundError:
+            return False
+
+    def list(self, key_prefix=""):
+        self.ops += 1
+        return self._server.op_list(key_prefix=key_prefix)
+
+    def create(self, key, data):
+        self.ops += 1
+        return self._server.op_create(key=key, data=data)
+
+    def update(self, key, data, resource_version=None):
+        self.ops += 1
+        return self._server.op_update(
+            key=key, data=data, resource_version=resource_version
+        )
+
+    def patch(self, key, patch):
+        self.ops += 1
+        return self._server.op_patch(key=key, patch=patch)
+
+    def delete(self, key):
+        self.ops += 1
+        return self._server.op_delete(key=key)

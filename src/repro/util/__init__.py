@@ -1,0 +1,14 @@
+"""Shared utilities: YAML-subset parsing, dotted paths, deep freezing."""
+
+from repro.util.paths import delete_path, get_path, set_path, walk_leaves
+from repro.util.yamlish import YamlishError, dumps, parse
+
+__all__ = [
+    "YamlishError",
+    "delete_path",
+    "dumps",
+    "get_path",
+    "parse",
+    "set_path",
+    "walk_leaves",
+]

@@ -1,0 +1,94 @@
+"""Dotted-path access into nested dict/list structures.
+
+State objects in the data stores are plain nested dicts.  Schemas, DXG
+expressions, and field-level access control all address fields with dotted
+paths like ``"order.items"`` or ``"quote.price"``.
+"""
+
+
+class PathError(KeyError):
+    """A dotted path did not resolve."""
+
+
+_MISSING = object()
+
+
+def split(path):
+    """Split ``"a.b.c"`` into ``["a", "b", "c"]`` (accepts lists as-is)."""
+    if isinstance(path, (list, tuple)):
+        return list(path)
+    if not path:
+        raise PathError("empty path")
+    return path.split(".")
+
+
+def get_path(obj, path, default=_MISSING):
+    """Resolve a dotted path; raise :class:`PathError` unless ``default``."""
+    current = obj
+    for part in split(path):
+        if isinstance(current, dict):
+            if part not in current:
+                if default is _MISSING:
+                    raise PathError(f"path {path!r}: missing key {part!r}")
+                return default
+            current = current[part]
+        elif isinstance(current, (list, tuple)):
+            try:
+                current = current[int(part)]
+            except (ValueError, IndexError):
+                if default is _MISSING:
+                    raise PathError(f"path {path!r}: bad index {part!r}")
+                return default
+        else:
+            if default is _MISSING:
+                raise PathError(
+                    f"path {path!r}: cannot descend into {type(current).__name__}"
+                )
+            return default
+    return current
+
+
+def set_path(obj, path, value, create=True):
+    """Set a dotted path, creating intermediate dicts when ``create``."""
+    parts = split(path)
+    current = obj
+    for part in parts[:-1]:
+        if isinstance(current, dict):
+            if part not in current:
+                if not create:
+                    raise PathError(f"path {path!r}: missing key {part!r}")
+                current[part] = {}
+            current = current[part]
+        elif isinstance(current, list):
+            current = current[int(part)]
+        else:
+            raise PathError(
+                f"path {path!r}: cannot descend into {type(current).__name__}"
+            )
+    leaf = parts[-1]
+    if isinstance(current, dict):
+        current[leaf] = value
+    elif isinstance(current, list):
+        current[int(leaf)] = value
+    else:
+        raise PathError(f"path {path!r}: cannot assign into {type(current).__name__}")
+
+
+def delete_path(obj, path):
+    """Delete the leaf of a dotted path; missing paths are ignored."""
+    parts = split(path)
+    try:
+        parent = get_path(obj, parts[:-1]) if len(parts) > 1 else obj
+    except PathError:
+        return
+    if isinstance(parent, dict):
+        parent.pop(parts[-1], None)
+
+
+def walk_leaves(obj, prefix=()):
+    """Yield ``(path_tuple, value)`` for every non-dict leaf in ``obj``."""
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            yield from walk_leaves(value, prefix + (key,))
+    else:
+        yield prefix, obj

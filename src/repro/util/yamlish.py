@@ -1,0 +1,362 @@
+"""A small YAML-subset parser for schema and DXG specifications.
+
+PyYAML is not available offline, and the paper's configuration snippets
+(Fig. 5 schema, Fig. 6 DXG) only need a small, predictable subset:
+
+- block mappings (``key: value`` / ``key:`` with an indented body),
+- block lists (``- item``),
+- scalars: int, float, bool, null, single/double-quoted and bare strings,
+- inline lists ``[a, b, c]``,
+- folded blocks (``key: >`` joins following indented lines with spaces),
+- comments (``# ...``), including *trailing annotation comments* which are
+  reported to the caller (the schema system stores ``# +kr: external``
+  annotations this way).
+
+``parse`` returns ``(data, annotations)`` where ``annotations`` maps a
+tuple path (e.g. ``("order", "shippingCost")``) to the trailing comment
+text of that line, without the leading ``#``.
+"""
+
+import re
+
+from repro.errors import ReproError
+
+
+class YamlishError(ReproError):
+    """The document is outside the supported subset or malformed."""
+
+
+_BOOLS = {"true": True, "false": False, "yes": True, "no": False}
+
+
+def _parse_scalar(text):
+    """Parse a scalar token into a Python value."""
+    text = text.strip()
+    if text == "" or text in ("null", "~"):
+        return None
+    if len(text) >= 2 and text[0] == text[-1] and text[0] in "'\"":
+        return text[1:-1]
+    lowered = text.lower()
+    if lowered in _BOOLS:
+        return _BOOLS[lowered]
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    if text.startswith("[") and text.endswith("]"):
+        inner = text[1:-1].strip()
+        if not inner:
+            return []
+        return [_parse_scalar(part) for part in _split_inline(inner)]
+    if text.startswith("{") and text.endswith("}"):
+        inner = text[1:-1].strip()
+        if not inner:
+            return {}
+        mapping = {}
+        for part in _split_inline(inner):
+            if ":" not in part:
+                raise YamlishError(f"bad inline mapping entry {part!r}")
+            key_text, value_text = part.split(":", 1)
+            mapping[_parse_scalar(key_text)] = _parse_scalar(value_text)
+        return mapping
+    return text
+
+
+def _split_inline(text):
+    """Split an inline-list body on commas outside quotes/brackets."""
+    parts = []
+    depth = 0
+    quote = None
+    current = []
+    for ch in text:
+        if quote:
+            current.append(ch)
+            if ch == quote:
+                quote = None
+        elif ch in "'\"":
+            quote = ch
+            current.append(ch)
+        elif ch in "[({":
+            depth += 1
+            current.append(ch)
+        elif ch in "])}":
+            depth -= 1
+            current.append(ch)
+        elif ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        parts.append("".join(current))
+    return parts
+
+
+def _strip_comment(line):
+    """Split a line into (content, trailing-comment-text-or-None).
+
+    A ``#`` inside quotes does not start a comment.  A comment must be
+    preceded by whitespace or start the line (matching YAML).
+    """
+    quote = None
+    for i, ch in enumerate(line):
+        if quote:
+            if ch == quote:
+                quote = None
+        elif ch in "'\"":
+            quote = ch
+        elif ch == "#" and (i == 0 or line[i - 1] in " \t"):
+            return line[:i].rstrip(), line[i + 1 :].strip()
+    return line.rstrip(), None
+
+
+class _Line:
+    __slots__ = ("number", "indent", "content", "comment")
+
+    def __init__(self, number, indent, content, comment):
+        self.number = number
+        self.indent = indent
+        self.content = content
+        self.comment = comment
+
+
+def _tokenize(text):
+    lines = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        if "\t" in raw[: len(raw) - len(raw.lstrip())]:
+            raise YamlishError(f"line {number}: tabs are not allowed in indentation")
+        content, comment = _strip_comment(raw)
+        stripped = content.strip()
+        if not stripped:
+            continue
+        indent = len(content) - len(content.lstrip(" "))
+        lines.append(_Line(number, indent, stripped, comment))
+    return lines
+
+
+_KEY_RE = re.compile(r"^(?P<key>[^:]+?)\s*:(?:\s+(?P<value>.*))?$")
+
+
+class _Parser:
+    def __init__(self, lines):
+        self.lines = lines
+        self.pos = 0
+        self.annotations = {}
+
+    def peek(self):
+        return self.lines[self.pos] if self.pos < len(self.lines) else None
+
+    def parse_block(self, indent, path):
+        line = self.peek()
+        if line is None:
+            return None
+        if line.content.startswith("- "):
+            return self.parse_list(indent, path)
+        return self.parse_mapping(indent, path)
+
+    def parse_list(self, indent, path):
+        items = []
+        while True:
+            line = self.peek()
+            if line is None or line.indent < indent:
+                break
+            if line.indent > indent:
+                raise YamlishError(
+                    f"line {line.number}: unexpected indent in list"
+                )
+            if not line.content.startswith("- "):
+                break
+            body = line.content[2:].strip()
+            item_path = path + (len(items),)
+            if line.comment:
+                self.annotations[item_path] = line.comment
+            self.pos += 1
+            if not body:
+                nxt = self.peek()
+                if nxt is not None and nxt.indent > indent:
+                    items.append(self.parse_block(nxt.indent, item_path))
+                else:
+                    items.append(None)
+            elif _KEY_RE.match(body) and not body.startswith(("'", '"', "[", "{")):
+                # "- key: value" starts an inline mapping item.
+                items.append(self.parse_inline_map_item(body, line, indent, item_path))
+            else:
+                items.append(_parse_scalar(body))
+        return items
+
+    def parse_inline_map_item(self, body, line, indent, path):
+        match = _KEY_RE.match(body)
+        key = _parse_scalar(match.group("key"))
+        value_text = match.group("value")
+        mapping = {}
+        if value_text is None or value_text == "":
+            nxt = self.peek()
+            if nxt is not None and nxt.indent > indent + 2:
+                mapping[key] = self.parse_block(nxt.indent, path + (key,))
+            else:
+                mapping[key] = None
+        else:
+            mapping[key] = _parse_scalar(value_text)
+        # Continuation keys aligned with the first key (indent + 2).
+        while True:
+            nxt = self.peek()
+            if nxt is None or nxt.indent != indent + 2:
+                break
+            if nxt.content.startswith("- "):
+                break
+            mapping.update(self.parse_mapping(indent + 2, path, single_level=True))
+            break
+        return mapping
+
+    def parse_mapping(self, indent, path, single_level=False):
+        mapping = {}
+        while True:
+            line = self.peek()
+            if line is None or line.indent < indent:
+                break
+            if line.indent > indent:
+                raise YamlishError(
+                    f"line {line.number}: unexpected indent (expected {indent})"
+                )
+            if line.content.startswith("- "):
+                break
+            match = _KEY_RE.match(line.content)
+            if not match:
+                raise YamlishError(
+                    f"line {line.number}: expected 'key: value', got {line.content!r}"
+                )
+            key = _parse_scalar(match.group("key"))
+            if key in mapping:
+                raise YamlishError(f"line {line.number}: duplicate key {key!r}")
+            value_text = match.group("value")
+            key_path = path + (key,)
+            if line.comment:
+                self.annotations[key_path] = line.comment
+            self.pos += 1
+            if value_text is None or value_text == "":
+                nxt = self.peek()
+                if nxt is not None and nxt.indent > indent:
+                    mapping[key] = self.parse_block(nxt.indent, key_path)
+                else:
+                    mapping[key] = None
+            elif value_text in (">", "|"):
+                mapping[key] = self.parse_text_block(indent, value_text)
+            else:
+                mapping[key] = _parse_scalar(value_text)
+        return mapping
+
+    def parse_text_block(self, indent, style):
+        pieces = []
+        while True:
+            line = self.peek()
+            if line is None or line.indent <= indent:
+                break
+            pieces.append(line.content)
+            self.pos += 1
+        if not pieces:
+            raise YamlishError("empty folded/literal block")
+        joiner = " " if style == ">" else "\n"
+        return joiner.join(pieces)
+
+
+def parse(text, with_annotations=False):
+    """Parse a YAML-subset document.
+
+    Returns the parsed data, or ``(data, annotations)`` when
+    ``with_annotations`` is true.
+    """
+    lines = _tokenize(text)
+    parser = _Parser(lines)
+    if not lines:
+        data = {}
+    else:
+        data = parser.parse_block(lines[0].indent, ())
+        leftover = parser.peek()
+        if leftover is not None:
+            raise YamlishError(
+                f"line {leftover.number}: trailing content {leftover.content!r}"
+            )
+    if with_annotations:
+        return data, parser.annotations
+    return data
+
+
+def dumps(data, indent=0):
+    """Render nested dict/list/scalar data back into the subset syntax.
+
+    Containers nested inside list items are rendered in inline form
+    (``[a, b]`` / ``{k: v}``), which the parser round-trips.
+    """
+    pad = "  " * indent
+    out = []
+    if isinstance(data, dict):
+        for key, value in data.items():
+            rendered_key = _render_key(key)
+            if isinstance(value, (dict, list)) and value:
+                out.append(f"{pad}{rendered_key}:")
+                out.append(dumps(value, indent + 1))
+            else:
+                out.append(f"{pad}{rendered_key}: {_render_scalar(value)}")
+    elif isinstance(data, list):
+        for item in data:
+            if isinstance(item, (dict, list)) and item:
+                out.append(f"{pad}- {_render_inline(item)}")
+            else:
+                out.append(f"{pad}- {_render_scalar(item)}")
+    else:
+        out.append(f"{pad}{_render_scalar(data)}")
+    return "\n".join(out)
+
+
+def _render_key(key):
+    """Keys that would not parse back as the same string get quoted."""
+    if isinstance(key, str) and _parse_scalar(key) == key and key:
+        return key
+    if isinstance(key, str):
+        return f"'{key}'"
+    return _render_scalar(key)
+
+
+def _render_inline(value):
+    """Inline (flow-style) rendering for containers inside list items."""
+    if isinstance(value, dict):
+        parts = ", ".join(
+            f"{_render_key(k)}: {_render_inline(v)}" for k, v in value.items()
+        )
+        return "{" + parts + "}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_render_inline(v) for v in value) + "]"
+    if isinstance(value, str):
+        if "'" in value or "\n" in value:
+            raise YamlishError(
+                f"string {value!r} cannot be rendered inline (quote chars)"
+            )
+        return f"'{value}'"
+    return _render_scalar(value)
+
+
+def _render_scalar(value):
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        needs_quoting = (
+            value == ""
+            or re.search(r"[:#\[\]{}]", value)
+            or value != value.strip()
+            or value.startswith(("'", '"', "- "))
+            or _parse_scalar(value) != value  # "0", "true", "no", "null", ...
+        )
+        if needs_quoting:
+            return f"'{value}'"
+        return value
+    if isinstance(value, list) and not value:
+        return "[]"
+    if isinstance(value, dict) and not value:
+        return "{}"
+    return str(value)

@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.simnet import Environment, FixedLatency, Network
+
+
+@pytest.fixture
+def env():
+    """A fresh simulation environment."""
+    return Environment()
+
+
+@pytest.fixture
+def net(env):
+    """A network with a tiny fixed default latency (0.25 ms per hop)."""
+    return Network(env, default_latency=FixedLatency(0.00025))
+
+
+@pytest.fixture
+def zero_net(env):
+    """A network with zero latency (pure-functional store tests)."""
+    return Network(env, default_latency=FixedLatency(0.0))
+
+
+@pytest.fixture
+def call(env):
+    """Drive a client-op process (or generator) to completion, return value.
+
+    Usage::
+
+        result = call(client.get("key"))
+        result = call(my_generator(env))
+    """
+
+    def runner(target):
+        if hasattr(target, "send"):
+            target = env.process(target)
+        return env.run(until=target)
+
+    return runner

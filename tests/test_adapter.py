@@ -1,0 +1,182 @@
+"""Tests for the legacy-RPC porting adapter (paper §5 proxies)."""
+
+import pytest
+
+from repro.core import Cast, Knactor, KnactorRuntime, StoreBinding
+from repro.core.adapter import RpcAdapterReconciler
+from repro.errors import ConfigurationError, RPCStatusError
+from repro.exchange import ObjectDE
+from repro.rpc import RPCChannel, RPCServer, parse_idl
+from repro.store import ApiServer
+
+LEGACY_PROTO = """\
+syntax = "proto3";
+package legacy.shipping;
+
+message Item {
+  string name = 1;
+}
+
+message ShipOrderRequest {
+  repeated Item items = 1;
+  string address = 2;
+}
+
+message ShipOrderResponse {
+  string tracking_id = 1;
+  double shipping_cost = 2;
+}
+
+service ShippingService {
+  rpc ShipOrder(ShipOrderRequest) returns (ShipOrderResponse);
+}
+"""
+
+SHIPMENT_SCHEMA = """\
+schema: App/v1/LegacyShipping/Shipment
+items: array # +kr: external
+addr: string # +kr: external
+id: string
+cost: number
+"""
+
+
+def build_legacy_service(env, net, fail_first=0):
+    """An unmodified legacy RPC shipping service."""
+    server = RPCServer(env, net, "legacy-shipping")
+    idl = parse_idl(LEGACY_PROTO)
+    state = {"count": 0, "failures_left": fail_first}
+
+    def handler(request):
+        if state["failures_left"] > 0:
+            state["failures_left"] -= 1
+            raise RPCStatusError("UNAVAILABLE", "warming up")
+        yield env.timeout(0.05)
+        state["count"] += 1
+        return {"tracking_id": f"legacy-{state['count']}", "shipping_cost": 9.5}
+
+    server.register("ShippingService", "ShipOrder", handler, idl=idl)
+    return server, state
+
+
+def build_adapted_runtime(env, net, fail_first=0):
+    runtime = KnactorRuntime(env, network=net)
+    de = ObjectDE(env, ApiServer(env, net, watch_overhead=0.0))
+    runtime.add_exchange("object", de)
+    server, state = build_legacy_service(env, net, fail_first=fail_first)
+    adapter = RpcAdapterReconciler(
+        channel=RPCChannel(env, server, "legacy-adapter"),
+        service="ShippingService",
+        method="ShipOrder",
+        request_map={"items": "items", "address": "addr"},
+        response_map={"id": "tracking_id", "cost": "shipping_cost"},
+        guard_fields=("addr", "items"),
+        done_field="id",
+    )
+    runtime.add_knactor(
+        Knactor("legacy-shipping",
+                [StoreBinding("default", "object", SHIPMENT_SCHEMA)],
+                reconciler=adapter)
+    )
+    runtime.start()
+    return runtime, de, adapter, state
+
+
+class TestAdapter:
+    def test_store_write_drives_legacy_call(self, env, zero_net, call):
+        runtime, _de, adapter, state = build_adapted_runtime(env, zero_net)
+        handle = runtime.handle_of("legacy-shipping")
+        call(handle.create("s1", {"items": [{"name": "mug"}], "addr": "12 Elm"}))
+        env.run()
+        view = call(handle.get("s1"))["data"]
+        assert view["id"] == "legacy-1"
+        assert view["cost"] == 9.5
+        assert adapter.calls_made == 1
+
+    def test_already_processed_objects_skipped(self, env, zero_net, call):
+        runtime, _de, adapter, state = build_adapted_runtime(env, zero_net)
+        handle = runtime.handle_of("legacy-shipping")
+        call(handle.create("s1", {"items": [], "addr": "x", "id": "pre-set"}))
+        env.run()
+        assert adapter.calls_made == 0
+
+    def test_incomplete_objects_wait_for_fields(self, env, zero_net, call):
+        runtime, _de, adapter, state = build_adapted_runtime(env, zero_net)
+        handle = runtime.handle_of("legacy-shipping")
+        call(handle.create("s1", {"items": [{"name": "pen"}]}))  # no addr
+        env.run()
+        assert adapter.calls_made == 0
+        call(handle.patch("s1", {"addr": "late address"}))
+        env.run()
+        assert adapter.calls_made == 1
+
+    def test_transient_failures_retried(self, env, zero_net, call):
+        runtime, _de, adapter, state = build_adapted_runtime(
+            env, zero_net, fail_first=2
+        )
+        handle = runtime.handle_of("legacy-shipping")
+        call(handle.create("s1", {"items": [], "addr": "x"}))
+        env.run()
+        view = call(handle.get("s1"))["data"]
+        assert view["id"] == "legacy-1"  # eventually succeeded
+        assert len(adapter.failures) == 2
+
+    def test_permanent_failure_poisons_without_wedging(self, env, zero_net, call):
+        runtime, _de, adapter, state = build_adapted_runtime(
+            env, zero_net, fail_first=10**6
+        )
+        handle = runtime.handle_of("legacy-shipping")
+        call(handle.create("bad", {"items": [], "addr": "x"}))
+        env.run()
+        assert len(adapter.failures) == adapter.max_call_attempts
+        # A later object still gets processed once the service recovers.
+        state["failures_left"] = 0
+        call(handle.create("good", {"items": [], "addr": "y"}))
+        env.run()
+        assert call(handle.get("good"))["data"]["id"] == "legacy-1"
+
+    def test_configuration_validation(self, env, zero_net):
+        server, _state = build_legacy_service(env, zero_net)
+        channel = RPCChannel(env, server, "a")
+        with pytest.raises(ConfigurationError):
+            RpcAdapterReconciler(channel, "S", "M", {}, {"a": "b"}, done_field="x")
+        with pytest.raises(ConfigurationError):
+            RpcAdapterReconciler(channel, "S", "M", {"a": "b"}, {"c": "d"})
+
+
+class TestAdapterComposesWithCast:
+    def test_legacy_service_composed_via_dxg(self, env, zero_net, call):
+        """End-to-end: a Cast composes Checkout with the ADAPTED legacy
+        service -- the legacy code never changed."""
+        runtime, de, adapter, _state = build_adapted_runtime(env, zero_net)
+        runtime.add_knactor(
+            Knactor("checkout", [StoreBinding("default", "object", """\
+schema: App/v1/Checkout/Order
+items: object
+address: string
+trackingID: string # +kr: external
+""")])
+        )
+        de.grant_integrator("bridge-cast", "knactor-checkout")
+        de.grant_integrator("bridge-cast", "knactor-legacy-shipping")
+        cast = Cast("bridge-cast", """\
+Input:
+  C: App/v1/Checkout/knactor-checkout
+  L: App/v1/LegacyShipping/knactor-legacy-shipping
+DXG:
+  C.order:
+    trackingID: L.id
+  L:
+    items: '[{"name": item.name} for item in C.order.items]'
+    addr: C.order.address
+""")
+        runtime.add_integrator(cast)
+        cast.start()
+        checkout = runtime.handle_of("checkout")
+        call(checkout.create(
+            "order/o1",
+            {"items": {"m": {"name": "mug"}}, "address": "12 Elm"},
+        ))
+        env.run()
+        order = call(checkout.get("order/o1"))["data"]
+        assert order["trackingID"] == "legacy-1"

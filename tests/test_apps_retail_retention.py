@@ -1,0 +1,111 @@
+"""App-level state retention (paper §3.3) on the retail flow.
+
+"states in the data stores are preserved until they're no longer required
+by entities such as the knactor's reconciler or integrators [...] Once a
+reconciler or integrator has performed its operation on a state object,
+the object is marked as unused and the DEs can then perform garbage
+collection."
+
+Two properties interact here and both are verified:
+
+1. **Self-healing**: derived state (a shipment) deleted while its source
+   (the order) still exists is *re-created* by the integrator -- the
+   fixpoint includes it.  Retention of derived state therefore only
+   sticks once the whole exchange group is released.
+2. **Group collection**: with readers registered over the order AND the
+   shipment, marking both done lets the GC collect the group for good
+   (orders first -- no source left to re-derive from).
+"""
+
+import pytest
+
+from repro.apps.retail.knactor_app import RetailKnactorApp
+from repro.apps.retail.workload import OrderWorkload
+from repro.core.optimizer import K_REDIS
+from repro.errors import NotFoundError
+from repro.store import MemKVClient, RefCountRetention
+from repro.store.retention import GarbageCollector
+
+
+def build_app(orders=1):
+    app = RetailKnactorApp.build(profile=K_REDIS, with_notify=False)
+    workload = OrderWorkload(seed=7)
+    keys = []
+    for _ in range(orders):
+        key, data = workload.next_order()
+        app.env.run(until=app.place_order(key, data))
+        keys.append(key)
+    app.run_until_quiet(max_seconds=30.0)
+    return app, keys
+
+
+def make_gc(app, policy):
+    client = MemKVClient(app.de.backend, location="gc")
+    return GarbageCollector(app.env, client, policy, interval=1.0)
+
+
+class TestSelfHealing:
+    def test_derived_state_resurrected_while_source_exists(self):
+        """Deleting ONLY the shipment is undone by the integrator: the
+        order still implies a shipment, so the fixpoint re-creates it."""
+        app, [key] = build_app()
+        cid = key.split("/", 1)[1]
+        policy = RefCountRetention()
+        policy.register_reader("knactor-shipping/", "archiver")
+        gc = make_gc(app, policy)
+        gc.start()
+        policy.mark_done(f"knactor-shipping/{cid}", "archiver")
+        app.run_until_quiet(max_seconds=15.0)
+        assert gc.collected, "the GC did collect the shipment once"
+        # ...but the integrator re-derived it from the live order.
+        shipment = app.env.run(until=app.shipment(cid))["data"]
+        assert shipment["addr"]
+
+
+class TestGroupCollection:
+    def test_whole_exchange_group_collected(self):
+        app, keys = build_app(orders=2)
+        policy = RefCountRetention()
+        policy.register_reader("knactor-checkout/", "archiver")
+        policy.register_reader("knactor-shipping/", "archiver")
+        policy.register_reader("knactor-payment/", "archiver")
+        gc = make_gc(app, policy)
+        gc.start()
+        app.env.run(until=app.env.now + 3.0)
+        # Nothing marked yet: everything retained.
+        for key in keys:
+            assert app.env.run(until=app.order(key))["data"]
+        # The archiver releases every object of both groups.
+        for key in keys:
+            cid = key.split("/", 1)[1]
+            policy.mark_done(f"knactor-checkout/{key}", "archiver")
+            policy.mark_done(f"knactor-shipping/{cid}", "archiver")
+            policy.mark_done(f"knactor-payment/{cid}", "archiver")
+        app.run_until_quiet(max_seconds=20.0)
+        for key in keys:
+            cid = key.split("/", 1)[1]
+            with pytest.raises(NotFoundError):
+                app.env.run(until=app.order(key))
+            with pytest.raises(NotFoundError):
+                app.env.run(until=app.shipment(cid))
+            with pytest.raises(NotFoundError):
+                app.env.run(until=app.charge(cid))
+
+    def test_unreleased_group_survives_alongside_released_one(self):
+        app, keys = build_app(orders=2)
+        released, kept = keys
+        policy = RefCountRetention()
+        policy.register_reader("knactor-checkout/", "archiver")
+        policy.register_reader("knactor-shipping/", "archiver")
+        policy.register_reader("knactor-payment/", "archiver")
+        gc = make_gc(app, policy)
+        gc.start()
+        cid = released.split("/", 1)[1]
+        policy.mark_done(f"knactor-checkout/{released}", "archiver")
+        policy.mark_done(f"knactor-shipping/{cid}", "archiver")
+        policy.mark_done(f"knactor-payment/{cid}", "archiver")
+        app.run_until_quiet(max_seconds=20.0)
+        with pytest.raises(NotFoundError):
+            app.env.run(until=app.order(released))
+        kept_order = app.env.run(until=app.order(kept))["data"]
+        assert kept_order["status"] == "fulfilled"

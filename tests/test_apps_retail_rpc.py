@@ -1,0 +1,106 @@
+"""Integration tests for the RPC retail baseline."""
+
+import pytest
+
+from repro.apps.retail.rpc_app import RetailRpcApp
+from repro.apps.retail.workload import OrderWorkload
+from repro.errors import RPCStatusError
+
+
+@pytest.fixture
+def app():
+    return RetailRpcApp.build()
+
+
+def order_data(seed=7, **overrides):
+    _key, data = OrderWorkload(seed=seed).next_order()
+    data.update(overrides)
+    return data
+
+
+class TestPlaceOrder:
+    def test_end_to_end(self, app):
+        response = app.env.run(until=app.place_order(order_data()))
+        assert response["order_id"] == "o00001"
+        assert response["tracking_id"].startswith("trk-")
+        assert response["transaction_id"].startswith("ch-")
+        assert response["total_cost"] > 0
+
+    def test_email_sent(self, app):
+        app.env.run(until=app.place_order(order_data(email="a@b.com")))
+        assert len(app.impls["email"].sent) == 1
+        assert app.impls["email"].sent[0]["email"] == "a@b.com"
+
+    def test_latency_dominated_by_shipping(self, app):
+        start = app.env.now
+        app.env.run(until=app.place_order(order_data()))
+        elapsed = app.env.now - start
+        assert 0.4 < elapsed < 0.7  # carrier call ~446 ms dominates
+
+    def test_missing_card_token_fails_order(self, app):
+        with pytest.raises(RPCStatusError) as excinfo:
+            app.env.run(until=app.place_order(order_data(cardToken="")))
+        assert excinfo.value.code == "INVALID_ARGUMENT"
+
+    def test_sequential_orders_get_distinct_ids(self, app):
+        first = app.env.run(until=app.place_order(order_data()))
+        second = app.env.run(until=app.place_order(order_data()))
+        assert first["order_id"] != second["order_id"]
+        assert first["tracking_id"] != second["tracking_id"]
+
+
+class TestSupportingServices:
+    def test_catalog(self, app):
+        from repro.rpc import RPCChannel
+
+        channel = RPCChannel(
+            app.env, app.servers["ProductCatalogService"], "tester"
+        )
+        products = app.env.run(
+            until=channel.call("ProductCatalogService", "ListProducts", {})
+        )
+        assert len(products["products"]) == 3
+        found = app.env.run(
+            until=channel.call("ProductCatalogService", "GetProduct", {"id": "mug"})
+        )
+        assert found["price_usd"] == 8.5
+        with pytest.raises(RPCStatusError):
+            app.env.run(
+                until=channel.call(
+                    "ProductCatalogService", "GetProduct", {"id": "nope"}
+                )
+            )
+
+    def test_cart_roundtrip(self, app):
+        from repro.rpc import RPCChannel
+
+        channel = RPCChannel(app.env, app.servers["CartService"], "tester")
+        app.env.run(
+            until=channel.call(
+                "CartService", "AddItem",
+                {"user_id": "u1", "item": {"product_id": "mug", "quantity": 2}},
+            )
+        )
+        cart = app.env.run(
+            until=channel.call("CartService", "GetCart", {"user_id": "u1"})
+        )
+        assert cart["items"][0]["product_id"] == "mug"
+        app.env.run(
+            until=channel.call("CartService", "EmptyCart", {"user_id": "u1"})
+        )
+        cart = app.env.run(
+            until=channel.call("CartService", "GetCart", {"user_id": "u1"})
+        )
+        assert cart["items"] == []
+
+
+class TestScatteringSurface:
+    def test_fifteen_methods_across_services(self, app):
+        """The paper's §2 count: 15 API-handling methods in the web app."""
+        assert app.rpc_method_count() == 15
+
+    def test_checkout_holds_four_downstream_stubs(self, app):
+        checkout = app.impls["checkout"]
+        stubs = [checkout.currency, checkout.payment, checkout.shipping,
+                 checkout.email]
+        assert len(stubs) == 4  # the coupling Table 1's T1 row pays for

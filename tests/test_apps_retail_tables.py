@@ -1,0 +1,109 @@
+"""Reproduction assertions for Tables 1 and 2 (shape, not absolutes)."""
+
+import pytest
+
+from repro.apps.retail.measure import (
+    PAPER_TABLE2,
+    run_knactor_setup,
+    run_rpc_setup,
+)
+from repro.apps.retail.tasks import all_tasks, generated_stub_sloc
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def comparisons(self):
+        return {c.task: c for c in all_tasks()}
+
+    def test_knactor_is_config_only_everywhere(self, comparisons):
+        for comparison in comparisons.values():
+            wins = comparison.knactor_wins()
+            assert wins["config_only"], comparison.task
+            assert wins["api_needs_rebuild"], comparison.task
+
+    def test_knactor_single_location(self, comparisons):
+        for comparison in comparisons.values():
+            assert comparison.knactor.files == 1
+
+    def test_t1_counts_in_paper_regime(self, comparisons):
+        t1 = comparisons["T1"]
+        assert t1.api.files == 8  # paper: 8
+        assert 90 <= t1.api.sloc <= 130  # paper: 109
+        assert t1.knactor.sloc <= 10  # paper: 7
+
+    def test_t2_counts_in_paper_regime(self, comparisons):
+        t2 = comparisons["T2"]
+        assert t2.api.files == 2  # paper: 2
+        assert 10 <= t2.api.sloc <= 20  # paper: 14
+        assert t2.knactor.sloc == 1  # paper: 1
+
+    def test_t3_counts_in_paper_regime(self, comparisons):
+        t3 = comparisons["T3"]
+        assert t3.api.files == 4  # paper: 4
+        assert 70 <= t3.api.sloc <= 110  # paper: 93
+        assert t3.knactor.sloc <= 10  # paper: 7
+
+    def test_sloc_reduction_factor(self, comparisons):
+        t1 = comparisons["T1"]
+        assert t1.api.sloc - t1.knactor.sloc >= 90  # paper: "by 102 in T1"
+
+    def test_api_approach_carries_generated_stubs(self):
+        assert generated_stub_sloc() > 50
+
+    def test_artifact_index_lists_real_paths(self, comparisons):
+        index = comparisons["T1"].api.artifact_index()
+        paths = [p for p, _lang, _sloc in index]
+        assert "protos/shipping.proto" in paths
+        assert all(sloc > 0 for _p, _l, sloc in index)
+
+
+class TestTable2:
+    """Slow-ish: runs the full simulation for each setup once."""
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        rows = {"RPC": run_rpc_setup(orders=8)}
+        for setup in ("K-apiserver", "K-redis", "K-redis-udf"):
+            rows[setup] = run_knactor_setup(setup, orders=8)
+        return {name: bd.row() for name, bd in rows.items()}
+
+    def test_all_requests_measured(self, rows):
+        for name, row in rows.items():
+            assert row["Total"] is not None, name
+
+    def test_shipment_processing_dominates_everywhere(self, rows):
+        for name, row in rows.items():
+            assert row["S"] > 0.9 * row["Total"], name
+
+    def test_s_stage_near_446ms(self, rows):
+        for name, row in rows.items():
+            assert 430 <= row["S"] <= 470, name
+
+    def test_apiserver_propagation_much_slower_than_redis(self, rows):
+        assert rows["K-apiserver"]["Prop."] > 4 * rows["K-redis"]["Prop."]
+
+    def test_rpc_has_lowest_propagation(self, rows):
+        for name in ("K-apiserver", "K-redis"):
+            assert rows["RPC"]["Prop."] < rows[name]["Prop."], name
+
+    def test_pushdown_cuts_integrator_to_shipping_stage(self, rows):
+        assert rows["K-redis-udf"]["I-S"] < rows["K-redis"]["I-S"] / 2
+
+    def test_pushdown_moves_compute_into_store(self, rows):
+        # I grows (execution happens in-store) while I-S collapses.
+        assert rows["K-redis-udf"]["I"] > rows["K-redis"]["I"]
+
+    def test_redis_prop_within_factor_two_of_paper(self, rows):
+        paper = PAPER_TABLE2["K-redis"]["Prop."]
+        assert paper / 2 <= rows["K-redis"]["Prop."] <= paper * 2
+
+    def test_apiserver_prop_within_factor_two_of_paper(self, rows):
+        paper = PAPER_TABLE2["K-apiserver"]["Prop."]
+        assert paper / 2 <= rows["K-apiserver"]["Prop."] <= paper * 2
+
+    def test_total_ordering_matches_paper(self, rows):
+        """K-apiserver is the slowest; the others are within a few ms."""
+        totals = {name: row["Total"] for name, row in rows.items()}
+        assert max(totals, key=totals.get) == "K-apiserver"
+        spread = [totals["RPC"], totals["K-redis"], totals["K-redis-udf"]]
+        assert max(spread) - min(spread) < 15.0

@@ -1,0 +1,70 @@
+"""Tests for the ``knactor`` CLI."""
+
+import pytest
+
+from repro.cli.main import main
+
+
+class TestCLI:
+    def test_version(self, capsys):
+        assert main(["version"]) == 0
+        assert "knactor" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "T1" in out and "c / f / b / d" in out
+
+    def test_table2_small(self, capsys):
+        assert main(["table2", "--orders", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "K-apiserver" in out and "K-redis-udf" in out
+
+    def test_demo_retail(self, capsys):
+        assert main(["demo", "retail", "--orders", "1", "--profile", "K-redis"]) == 0
+        out = capsys.readouterr().out
+        assert "status=fulfilled" in out
+
+    def test_demo_smarthome(self, capsys):
+        assert main(["demo", "smarthome"]) == 0
+        out = capsys.readouterr().out
+        assert "lamp changes" in out
+
+    def test_describe_retail(self, capsys):
+        assert main(["describe", "retail"]) == 0
+        out = capsys.readouterr().out
+        assert "knactor checkout" in out and "grant" in out
+
+    def test_analyze_valid_dxg(self, tmp_path, capsys):
+        dxg = tmp_path / "good.dxg"
+        dxg.write_text(
+            "Input:\n  A: app/v1/A/sa\n  B: app/v1/B/sb\n"
+            "DXG:\n  B:\n    x: A.y\n"
+        )
+        assert main(["analyze", str(dxg)]) == 0
+        out = capsys.readouterr().out
+        assert "analysis   : ok" in out and "plan:" in out
+
+    def test_analyze_cyclic_dxg_fails(self, tmp_path, capsys):
+        dxg = tmp_path / "bad.dxg"
+        dxg.write_text(
+            "Input:\n  A: app/v1/A/sa\n  B: app/v1/B/sb\n"
+            "DXG:\n  A:\n    x: B.y\n  B:\n    y: A.x\n"
+        )
+        assert main(["analyze", str(dxg)]) == 1
+
+    def test_analyze_missing_file(self, capsys):
+        assert main(["analyze", "/nonexistent/file.dxg"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_trace_export(self, tmp_path, capsys):
+        out_file = tmp_path / "trace.json"
+        assert main(["trace", str(out_file), "--orders", "1"]) == 0
+        import json
+
+        data = json.loads(out_file.read_text())
+        assert len(data["traceEvents"]) > 10
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,110 @@
+"""Unit tests for the miniature deployment model."""
+
+import pytest
+
+from repro.cluster import Cluster, Image, ImageRegistry, Node, rolling_update
+from repro.errors import ClusterError
+
+
+@pytest.fixture
+def cluster(env):
+    return Cluster(env, nodes=[Node("n1", capacity=8), Node("n2", capacity=8)])
+
+
+class TestRegistry:
+    def test_build_and_push_costs_time(self, env, call):
+        registry = ImageRegistry(env)
+        result = call(registry.build_and_push(Image("checkout", "v2"), service_sloc=2000))
+        assert result.build_seconds == pytest.approx(25.0 + 0.02 * 2000)
+        assert result.push_seconds == pytest.approx(200.0 / 40.0)
+        assert env.now == pytest.approx(result.total_seconds)
+        assert registry.has(Image("checkout", "v2"))
+
+    def test_layer_cache_cheapens_second_push(self, env, call):
+        registry = ImageRegistry(env)
+        first = call(registry.build_and_push(Image("svc", "v1")))
+        second = call(registry.build_and_push(Image("svc", "v2")))
+        assert second.push_seconds < first.push_seconds
+
+    def test_negative_sloc_rejected(self, env):
+        registry = ImageRegistry(env)
+        with pytest.raises(ClusterError):
+            registry.build_and_push(Image("svc", "v1"), service_sloc=-1)
+
+
+class TestCluster:
+    def test_create_deployment_starts_replicas(self, env, cluster, call):
+        pods = call(cluster.create_deployment("checkout", Image("checkout", "v1"),
+                                              replicas=3))
+        assert len(pods) == 3
+        assert all(p.ready for p in pods)
+        assert cluster.deployment("checkout").available
+
+    def test_pods_spread_across_nodes(self, env, cluster, call):
+        call(cluster.create_deployment("svc", Image("svc", "v1"), replicas=4))
+        counts = [len(n.pods) for n in cluster.nodes]
+        assert counts == [2, 2]
+
+    def test_image_pull_cached_per_node(self, env, cluster, call):
+        start = env.now
+        call(cluster.create_deployment("a", Image("img", "v1", size_mb=160),
+                                       replicas=1))
+        first = env.now - start
+        start = env.now
+        call(cluster.create_deployment("b", Image("img", "v1", size_mb=160),
+                                       replicas=1))
+        second = env.now - start
+        # Second pod lands on the other node: also pulls. Third is cached.
+        start = env.now
+        call(cluster.create_deployment("c", Image("img", "v1", size_mb=160),
+                                       replicas=1))
+        third = env.now - start
+        assert third < first and third < second
+
+    def test_capacity_exhaustion(self, env, call):
+        small = Cluster(env, nodes=[Node("n1", capacity=1)])
+        call(small.create_deployment("a", Image("a", "v1"), replicas=1))
+        with pytest.raises(ClusterError):
+            call(small.create_deployment("b", Image("b", "v1"), replicas=1))
+
+    def test_duplicate_deployment_rejected(self, env, cluster, call):
+        call(cluster.create_deployment("svc", Image("svc", "v1"), replicas=1))
+        with pytest.raises(ClusterError):
+            cluster.create_deployment("svc", Image("svc", "v2"))
+
+
+class TestRollingUpdate:
+    def test_no_downtime_with_surge(self, env, cluster, call):
+        call(cluster.create_deployment("svc", Image("svc", "v1"), replicas=3))
+        result = call(rolling_update(cluster, "svc", Image("svc", "v2")))
+        assert not result.had_downtime
+        assert result.pods_replaced == 3
+        deployment = cluster.deployment("svc")
+        assert all(p.image.tag == "v2" for p in deployment.ready_pods)
+        assert deployment.generation == 2
+
+    def test_rollout_takes_time(self, env, cluster, call):
+        call(cluster.create_deployment("svc", Image("svc", "v1"), replicas=2))
+        result = call(rolling_update(cluster, "svc", Image("svc", "v2")))
+        assert result.duration > 0
+        assert result.timeline[0][1].startswith("rollout")
+        assert result.timeline[-1][1] == "rollout complete"
+
+    def test_max_unavailable_batches(self, env, cluster, call):
+        call(cluster.create_deployment("svc", Image("svc", "v1"), replicas=4))
+        fast = call(rolling_update(cluster, "svc", Image("svc", "v2"),
+                                   max_unavailable=4))
+        call(cluster.create_deployment("svc2", Image("svc2", "v1"), replicas=4))
+        slow = call(rolling_update(cluster, "svc2", Image("svc2", "v2"),
+                                   max_unavailable=1))
+        assert fast.duration < slow.duration
+
+    def test_invalid_max_unavailable(self, env, cluster, call):
+        call(cluster.create_deployment("svc", Image("svc", "v1"), replicas=1))
+        with pytest.raises(ClusterError):
+            rolling_update(cluster, "svc", Image("svc", "v2"), max_unavailable=0)
+
+    def test_noop_rollout_when_image_already_running(self, env, cluster, call):
+        call(cluster.create_deployment("svc", Image("svc", "v1"), replicas=2))
+        result = call(rolling_update(cluster, "svc", Image("svc", "v1")))
+        assert result.pods_replaced == 0

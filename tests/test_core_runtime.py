@@ -1,0 +1,175 @@
+"""Unit tests for the runtime, knactor wiring, policies, and pipelines."""
+
+import pytest
+
+from repro.core import (
+    Knactor,
+    KnactorRuntime,
+    Pipeline,
+    StoreBinding,
+    TimeWindowCondition,
+    deny_during,
+)
+from repro.core.policy import threshold_route
+from repro.errors import (
+    AccessDeniedError,
+    ConfigurationError,
+    NotFoundError,
+    StoreError,
+)
+from repro.exchange import ObjectDE
+from repro.store import ApiServer
+
+SCHEMA = "schema: App/v1/Svc/Thing\nname: string\n"
+
+
+@pytest.fixture
+def runtime(env, zero_net):
+    rt = KnactorRuntime(env, network=zero_net)
+    rt.add_exchange("object", ObjectDE(env, ApiServer(env, zero_net)))
+    return rt
+
+
+class TestRuntime:
+    def test_add_knactor_hosts_stores(self, runtime):
+        runtime.add_knactor(Knactor("svc", [StoreBinding("default", "object", SCHEMA)]))
+        de = runtime.exchange("object")
+        assert de.stores() == ["knactor-svc"]
+        assert runtime.store_owner("knactor-svc") == "svc"
+
+    def test_duplicate_knactor_rejected(self, runtime):
+        runtime.add_knactor(Knactor("svc", [StoreBinding("default", "object", SCHEMA)]))
+        with pytest.raises(ConfigurationError):
+            runtime.add_knactor(Knactor("svc", []))
+
+    def test_unknown_lookups_raise(self, runtime):
+        with pytest.raises(NotFoundError):
+            runtime.knactor("nope")
+        with pytest.raises(NotFoundError):
+            runtime.exchange("nope")
+        with pytest.raises(NotFoundError):
+            runtime.integrator("nope")
+        with pytest.raises(NotFoundError):
+            runtime.store_owner("nope")
+
+    def test_multiple_stores_per_knactor(self, runtime):
+        knactor = Knactor(
+            "svc",
+            [
+                StoreBinding("default", "object", SCHEMA),
+                StoreBinding("extra", "object", "schema: App/v1/Svc/Extra\nv: number\n"),
+            ],
+        )
+        runtime.add_knactor(knactor)
+        assert knactor.binding("extra").store_name == "knactor-svc-extra"
+        assert runtime.handle_of("svc", "extra").store_name == "knactor-svc-extra"
+
+    def test_duplicate_store_local_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Knactor(
+                "svc",
+                [
+                    StoreBinding("default", "object", SCHEMA),
+                    StoreBinding("default", "object", SCHEMA),
+                ],
+            )
+
+    def test_describe_runs(self, runtime):
+        runtime.add_knactor(Knactor("svc", [StoreBinding("default", "object", SCHEMA)]))
+        text = runtime.describe()
+        assert "knactor svc" in text and "knactor-svc" in text
+
+    def test_start_stop_idempotent(self, runtime):
+        runtime.start()
+        runtime.start()
+        runtime.stop()
+        runtime.stop()
+
+    def test_knactor_added_after_start_begins_running(self, env, runtime, call):
+        from repro.core import Reconciler
+
+        class Counter(Reconciler):
+            def __init__(self):
+                super().__init__("counter")
+                self.count = 0
+
+            def reconcile(self, ctx, key, obj):
+                self.count += 1
+
+        runtime.start()
+        rec = Counter()
+        runtime.add_knactor(
+            Knactor("late", [StoreBinding("default", "object", SCHEMA)], reconciler=rec)
+        )
+        handle = runtime.handle_of("late")
+        call(handle.create("x", {"name": "n"}))
+        env.run()
+        assert rec.count >= 1
+
+
+class TestPolicies:
+    def test_time_window_condition(self):
+        condition = TimeWindowCondition(
+            principal="house", store="lamp", start_hour=22, end_hour=6,
+            seconds_per_hour=1.0,
+        )
+        assert condition("house", "lamp", "patch", now=12.0)  # daytime: allowed
+        assert not condition("house", "lamp", "patch", now=23.0)  # sleep
+        assert not condition("house", "lamp", "patch", now=2.0)  # wraps midnight
+        assert condition("other", "lamp", "patch", now=23.0)  # other principal
+
+    def test_time_window_validation(self):
+        with pytest.raises(ConfigurationError):
+            TimeWindowCondition("p", "s", start_hour=25, end_hour=3)
+        with pytest.raises(ConfigurationError):
+            TimeWindowCondition("p", "s", 0, 1, seconds_per_hour=0)
+
+    def test_deny_during_installed_on_de(self, env, runtime, call):
+        runtime.add_knactor(Knactor("svc", [StoreBinding("default", "object", SCHEMA)]))
+        de = runtime.exchange("object")
+        de.grant("house", "knactor-svc", verbs={"get"})
+        # Window covering (almost) the whole day: every access denied.
+        deny_during(de, "house", "knactor-svc", start_hour=0, end_hour=23.99,
+                    seconds_per_hour=1e9)
+        handle = de.handle("knactor-svc", "house")
+        with pytest.raises(AccessDeniedError):
+            call(handle.get("x"))
+
+    def test_threshold_route_expression(self):
+        expr = threshold_route("C.order.cost", 1000, "air", "ground")
+        from repro.util.safeexpr import SafeExpression
+
+        e = SafeExpression(expr)
+        assert e.evaluate({"C": {"order": {"cost": 2000}}}) == "air"
+        assert e.evaluate({"C": {"order": {"cost": 10}}}) == "ground"
+
+
+class TestPipeline:
+    def test_builder_is_immutable(self):
+        base = Pipeline().filter("x > 1")
+        extended = base.rename("x", "y")
+        assert len(base) == 1 and len(extended) == 2
+
+    def test_build_validates(self):
+        with pytest.raises(StoreError):
+            Pipeline().agg(x="median(v)").build()
+
+    def test_full_surface(self):
+        ops = (
+            Pipeline()
+            .filter("a > 0")
+            .rename("a", "b")
+            .cut("b")
+            .drop("c")
+            .derive("d", "b * 2")
+            .sort("d", reverse=True)
+            .head(5)
+            .tail(2)
+            .distinct("b")
+            .agg(by=["b"], total="sum(d)")
+            .build()
+        )
+        assert [o["op"] for o in ops] == [
+            "filter", "rename", "cut", "drop", "derive",
+            "sort", "head", "tail", "distinct", "agg",
+        ]

@@ -1,0 +1,85 @@
+"""Smoke tests: every example script runs to completion."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(monkeypatch, capsys, name, *argv):
+    monkeypatch.setattr(sys, "argv", [name, *argv])
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "quickstart.py")
+        assert "[display] den: 21.5 degrees C" in out
+        assert "degrees F" in out  # the run-time reconfiguration took
+
+    def test_online_retail_knactor(self, monkeypatch, capsys):
+        out = run_example(
+            monkeypatch, capsys, "online_retail.py",
+            "--orders", "1", "--profile", "K-redis",
+        )
+        assert "status=fulfilled" in out
+        assert "retail-cast" in out
+
+    def test_online_retail_rpc(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "online_retail.py",
+                          "--rpc", "--orders", "1")
+        assert "tracking=trk-" in out
+
+    def test_online_retail_show_dxg(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "online_retail.py", "--show-dxg")
+        assert "currency_convert(S.quote.price," in out
+
+    def test_online_retail_show_schemas(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "online_retail.py",
+                          "--show-schemas")
+        assert "shippingCost: number # +kr: external" in out
+
+    def test_smart_home(self, monkeypatch, capsys):
+        import re
+
+        out = run_example(monkeypatch, capsys, "smart_home.py")
+        assert out.count("lamp brightness changes : 16") == 2
+        totals = [
+            float(m) for m in re.findall(r"energy total \(kWh\): ([0-9.]+)", out)
+        ]
+        assert len(totals) == 2
+        assert totals[0] == pytest.approx(totals[1], rel=0.01)
+
+    def test_smart_home_sleep_policy(self, monkeypatch, capsys):
+        import re
+
+        out = run_example(monkeypatch, capsys, "smart_home.py", "--sleep-policy")
+        match = re.search(r"policy denials recorded : (\d+)", out)
+        assert match and int(match.group(1)) >= 16
+        # The policy held: the (knactor-variant) lamp never changed.
+        assert "lamp brightness changes : 0" in out
+
+    def test_runtime_reconfiguration(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "runtime_reconfiguration.py")
+        assert "tracking=drone-" in out
+        assert "untouched" in out
+
+    def test_composition_tasks(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "composition_tasks.py")
+        assert "c / f / b / d" in out
+        assert "rolling update" in out
+
+    def test_marketplace(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "marketplace.py")
+        assert "compatible" in out
+        assert "'living: 21.0 C'" in out
+
+    def test_verification(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "verification.py")
+        assert "dependency cycle" in out
+        assert "confluent across 3 orderings" in out
+        assert "NOT confluent" in out

@@ -1,0 +1,104 @@
+"""Unit tests for the Log Data Exchange."""
+
+import pytest
+
+from repro.errors import AccessDeniedError, ConfigurationError, SchemaError
+from repro.exchange import LogDE
+from repro.store import ApiServer, LogLake
+
+HOUSE_SCHEMA = """\
+schema: SmartHome/v1/House/Readings
+kwh: number # +kr: ingest
+motion: boolean # +kr: ingest
+note: string
+"""
+
+MOTION_SCHEMA = """\
+schema: SmartHome/v1/Motion/Readings
+triggered: boolean
+sensitivity: number
+"""
+
+
+@pytest.fixture
+def de(env, zero_net):
+    backend = LogLake(env, zero_net, watch_overhead=0.0)
+    exchange = LogDE(env, backend)
+    exchange.host_store("house-log", HOUSE_SCHEMA, owner="house")
+    exchange.host_store("motion-log", MOTION_SCHEMA, owner="motion")
+    return exchange
+
+
+class TestHosting:
+    def test_pools_created_on_host(self, de, call):
+        assert de.backend.op_pools() == ["house-log", "motion-log"]
+
+    def test_wrong_backend_rejected(self, env, zero_net):
+        with pytest.raises(ConfigurationError):
+            LogDE(env, ApiServer(env, zero_net))
+
+
+class TestOwnerAccess:
+    def test_owner_load_and_query(self, de, call):
+        house = de.handle("house-log", principal="house")
+        call(house.load([{"kwh": 0.5, "motion": True}]))
+        rows = call(house.query())
+        assert rows[0]["kwh"] == 0.5
+
+    def test_semi_structured_unknown_fields_allowed(self, de, call):
+        house = de.handle("house-log", principal="house")
+        call(house.load([{"kwh": 0.5, "vendor_extra": "xyz"}]))
+        assert call(house.query())[0]["vendor_extra"] == "xyz"
+
+    def test_declared_field_types_still_enforced(self, de, call):
+        house = de.handle("house-log", principal="house")
+        with pytest.raises(SchemaError):
+            call(house.load([{"kwh": "lots"}]))
+
+    def test_stats(self, de, call):
+        house = de.handle("house-log", principal="house")
+        call(house.load([{"kwh": 1.0}, {"kwh": 2.0}]))
+        assert call(house.stats())["records"] == 2
+
+
+class TestIntegratorAccess:
+    def test_integrator_loads_ingest_fields_only(self, de, call):
+        de.grant_integrator("sync", "house-log")
+        handle = de.handle("house-log", principal="sync")
+        call(handle.load([{"kwh": 1.5, "motion": True}]))
+        with pytest.raises(AccessDeniedError):
+            call(handle.load([{"note": "sneaky write"}]))
+
+    def test_integrator_can_query_source(self, de, call):
+        motion_owner = de.handle("motion-log", principal="motion")
+        call(motion_owner.load([{"triggered": True}]))
+        de.grant_integrator("sync", "motion-log")
+        handle = de.handle("motion-log", principal="sync")
+        rows = call(handle.query(ops=[{"op": "filter", "expr": "triggered == True"}]))
+        assert len(rows) == 1
+
+    def test_stranger_denied(self, de, call):
+        handle = de.handle("house-log", principal="stranger")
+        with pytest.raises(AccessDeniedError):
+            call(handle.query())
+
+    def test_reader_grant_cannot_load(self, de, call):
+        de.grant_reader("viewer", "motion-log")
+        handle = de.handle("motion-log", principal="viewer")
+        with pytest.raises(AccessDeniedError):
+            call(handle.load([{"triggered": True}]))
+
+
+class TestWatch:
+    def test_owner_watch_batches(self, env, de, call):
+        house = de.handle("house-log", principal="house")
+        batches = []
+        house.watch(batches.append)
+        call(house.load([{"kwh": 1.0}]))
+        env.run()
+        assert len(batches) == 1
+
+    def test_watch_requires_grant(self, de):
+        handle = de.handle("motion-log", principal="stranger")
+        with pytest.raises(AccessDeniedError):
+            handle.watch(lambda e: None)

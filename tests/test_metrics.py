@@ -1,0 +1,132 @@
+"""Unit tests for the measurement layer (sloc, costmodel, latency, report)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics import (
+    Artifact,
+    CompositionTask,
+    StageBreakdown,
+    Table,
+    TaskComparison,
+    count_sloc,
+    format_seconds,
+    summarize,
+)
+from repro.metrics.sloc import file_count, total_sloc
+
+
+class TestSLOC:
+    def test_python_comments_and_blanks_excluded(self):
+        text = "# comment\n\nx = 1\n# another\ny = 2\n\n"
+        assert count_sloc(text, "python") == 2
+
+    def test_proto_comments(self):
+        text = "// header\nmessage M {\n  string x = 1;\n}\n"
+        assert count_sloc(text, "proto") == 3
+
+    def test_yaml_comments(self):
+        assert count_sloc("# note\nkey: value\n", "yaml") == 1
+
+    def test_text_counts_everything_nonblank(self):
+        assert count_sloc("# not a comment in plain text\nline\n", "text") == 2
+
+    def test_artifact_sloc_property(self):
+        artifact = Artifact("a.py", "x = 1\n# c\n")
+        assert artifact.sloc == 1
+
+    def test_totals_respect_changed_flag(self):
+        artifacts = [
+            Artifact("a.py", "x = 1\n", changed=True),
+            Artifact("b.py", "y = 1\nz = 2\n", changed=False),
+        ]
+        assert total_sloc(artifacts) == 1
+        assert file_count(artifacts) == 1
+        assert total_sloc(artifacts, changed_only=False) == 3
+
+
+class TestCostModel:
+    def make_task(self, approach="API", operations=("c", "f", "b", "d")):
+        return CompositionTask(
+            task="T9",
+            approach=approach,
+            operations=operations,
+            artifacts=[Artifact("x.py", "a = 1\nb = 2\n")],
+        )
+
+    def test_operation_string_order(self):
+        task = CompositionTask("T9", "API", operations=("d", "c"))
+        assert task.operation_string == "c / d"
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CompositionTask("T9", "API", operations=("x",))
+
+    def test_files_and_sloc(self):
+        task = self.make_task()
+        assert task.files == 1 and task.sloc == 2
+
+    def test_comparison_requires_same_task(self):
+        api = self.make_task()
+        kn = CompositionTask("T8", "KN", operations=("f",))
+        with pytest.raises(ConfigurationError):
+            TaskComparison(api=api, knactor=kn)
+
+    def test_wins_dict(self):
+        api = self.make_task()
+        kn = CompositionTask(
+            "T9", "KN", operations=("f",),
+            artifacts=[Artifact("dxg.yaml", "a: b\n", "yaml")],
+        )
+        wins = TaskComparison(api=api, knactor=kn).knactor_wins()
+        assert all(wins.values())
+
+
+class TestLatency:
+    def test_summarize_stats(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats["mean"] == 2.5
+        assert stats["p50"] == 2.5
+        assert stats["min"] == 1.0 and stats["max"] == 4.0
+        assert stats["count"] == 4
+
+    def test_summarize_single_value(self):
+        stats = summarize([7.0])
+        assert stats["p99"] == 7.0
+
+    def test_summarize_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+
+    def test_breakdown_rows_in_ms(self):
+        bd = StageBreakdown("test")
+        bd.add_request({"C-I": 0.001, "S": 0.446})
+        bd.add_request({"C-I": 0.003, "S": 0.446})
+        row = bd.row()
+        assert row["C-I"] == pytest.approx(2.0)
+        assert row["I"] is None
+        assert bd.count() == 2
+
+    def test_breakdown_mean_missing_stage(self):
+        assert StageBreakdown("x").mean("S") is None
+
+
+class TestReport:
+    def test_table_render_alignment(self):
+        table = Table(["A", "Long header"], title="T")
+        table.add_row(1, 2.5)
+        table.add_row("xx", None)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "Long header" in lines[1]
+        assert "2.5" in text and "-" in lines[-1]
+
+    def test_row_arity_checked(self):
+        table = Table(["A", "B"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_format_seconds(self):
+        assert format_seconds(0.0018) == "1.8"
+        assert format_seconds(None) == "-"

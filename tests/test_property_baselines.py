@@ -1,0 +1,119 @@
+"""Property-based tests: Pub/Sub, codecs, IDL codegen, rolling updates."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster, Image, Node, rolling_update
+from repro.pubsub import MessageCodec
+from repro.pubsub.broker import topic_matches
+from repro.rpc import generate_client_stub, parse_idl
+from repro.simnet import Environment
+
+_segment = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Nd")),
+    min_size=1, max_size=6,
+)
+_topic = st.lists(_segment, min_size=1, max_size=4).map("/".join)
+
+
+class TestTopicMatching:
+    @given(topic=_topic)
+    def test_exact_match_is_reflexive(self, topic):
+        assert topic_matches(topic, topic)
+
+    @given(topic=_topic)
+    def test_hash_matches_everything(self, topic):
+        assert topic_matches("#", topic)
+
+    @given(topic=_topic)
+    def test_plus_matches_any_single_level(self, topic):
+        parts = topic.split("/")
+        for i in range(len(parts)):
+            pattern = "/".join(parts[:i] + ["+"] + parts[i + 1 :])
+            assert topic_matches(pattern, topic)
+
+    @given(topic=_topic, extra=_segment)
+    def test_longer_topic_never_matches_exact_pattern(self, topic, extra):
+        assert not topic_matches(topic, f"{topic}/{extra}")
+
+    @given(topic=_topic, extra=_segment)
+    def test_prefix_hash_matches_deeper_topics(self, topic, extra):
+        assert topic_matches(f"{topic}/#", f"{topic}/{extra}")
+
+
+_message = st.fixed_dictionaries(
+    {},
+    optional={
+        "a": st.booleans(),
+        "b": st.integers(min_value=-10**6, max_value=10**6),
+        "c": st.text(max_size=20),
+    },
+)
+
+
+class TestCodecProperties:
+    @given(message=_message)
+    def test_roundtrip_identity(self, message):
+        codec = MessageCodec("t.M", 1, {"a": bool, "b": int, "c": str})
+        assert codec.decode(codec.encode(message)) == message
+
+    @given(version_a=st.integers(1, 100), version_b=st.integers(1, 100))
+    def test_cross_version_decoding_iff_equal(self, version_a, version_b):
+        a = MessageCodec("t.M", version_a, {"x": int})
+        b = MessageCodec("t.M", version_b, {"x": int})
+        data = a.encode({"x": 1})
+        if version_a == version_b:
+            assert b.decode(data) == {"x": 1}
+        else:
+            import pytest
+
+            from repro.pubsub import CodecError
+
+            with pytest.raises(CodecError):
+                b.decode(data)
+
+
+_identifier = st.from_regex(r"[A-Z][a-zA-Z0-9]{0,8}", fullmatch=True)
+
+
+class TestCodegenProperties:
+    @settings(max_examples=25)
+    @given(
+        service=_identifier,
+        methods=st.lists(_identifier, min_size=1, max_size=4, unique=True),
+    )
+    def test_generated_stub_always_compiles(self, service, methods):
+        lines = ['syntax = "proto3";', "message Req {", "  string v = 1;", "}",
+                 "message Resp {", "  string v = 1;", "}",
+                 f"service {service}Svc {{"]
+        for method in methods:
+            lines.append(f"  rpc {method}(Req) returns (Resp);")
+        lines.append("}")
+        idl = parse_idl("\n".join(lines) + "\n")
+        source = generate_client_stub(idl)
+        compile(source, "<generated>", "exec")
+        assert f"class {service}SvcStub:" in source
+
+
+class TestRolloutProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        replicas=st.integers(min_value=2, max_value=6),
+        max_unavailable=st.integers(min_value=1, max_value=5),
+    )
+    def test_surge_rollout_never_loses_availability(self, replicas,
+                                                    max_unavailable):
+        env = Environment()
+        cluster = Cluster(env, nodes=[Node("n1", capacity=64)])
+        env.run(until=cluster.create_deployment(
+            "svc", Image("svc", "v1"), replicas=replicas))
+        result = env.run(until=rolling_update(
+            cluster, "svc", Image("svc", "v2"),
+            max_unavailable=max_unavailable,
+        ))
+        # Surge strategy: new pods start before old ones stop.
+        assert not result.had_downtime
+        assert result.pods_replaced == replicas
+        deployment = cluster.deployment("svc")
+        assert all(p.image.tag == "v2" for p in deployment.ready_pods)
+        assert len(deployment.ready_pods) == replicas

@@ -1,0 +1,187 @@
+"""Property-based tests: DXG quiescence/analysis and log-query laws."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dxg import DXGExecutor, DependencyGraph, analyze
+from repro.core.dxg.parser import build_spec
+from repro.exchange import ObjectDE
+from repro.simnet import Environment, FixedLatency, Network
+from repro.store import ApiServer
+from repro.store.zql import compile_query
+
+# ---------------------------------------------------------------------------
+# Random acyclic DXGs: store B's fields computed from store A's fields.
+# ---------------------------------------------------------------------------
+
+_field_index = st.integers(min_value=0, max_value=4)
+
+
+@st.composite
+def acyclic_dxgs(draw):
+    """A random fan-in DXG A -> B with arithmetic transforms."""
+    n_assignments = draw(st.integers(min_value=1, max_value=5))
+    body = {}
+    for i in range(n_assignments):
+        sources = draw(st.lists(_field_index, min_size=1, max_size=3))
+        expr = " + ".join(f"A.f{j}" for j in sources)
+        scale = draw(st.integers(min_value=1, max_value=5))
+        body[f"g{i}"] = f"({expr}) * {scale}"
+    return build_spec(
+        {"A": "app/v1/A/knactor-a", "B": "app/v1/B/knactor-b"},
+        {"B": body},
+    )
+
+
+def _setup(spec):
+    env = Environment()
+    net = Network(env, default_latency=FixedLatency(0))
+    de = ObjectDE(env, ApiServer(env, net, watch_overhead=0))
+    source_schema = "schema: app/v1/A/S\n" + "\n".join(
+        f"f{i}: number" for i in range(5)
+    )
+    target_schema = "schema: app/v1/B/T\n" + "\n".join(
+        f"g{i}: number # +kr: external" for i in range(5)
+    )
+    de.host_store("knactor-a", source_schema + "\n", owner="a")
+    de.host_store("knactor-b", target_schema + "\n", owner="b")
+    de.grant_integrator("cast", "knactor-a")
+    de.grant_integrator("cast", "knactor-b")
+    executor = DXGExecutor(
+        env, spec,
+        handles={"A": de.handle("knactor-a", "cast"),
+                 "B": de.handle("knactor-b", "cast")},
+    )
+    return env, de, executor
+
+
+class TestDXGProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(spec=acyclic_dxgs(),
+           values=st.lists(st.integers(min_value=-100, max_value=100),
+                           min_size=5, max_size=5))
+    def test_acyclic_dxg_quiesces_and_is_idempotent(self, spec, values):
+        assert analyze(spec).ok
+        env, de, executor = _setup(spec)
+        owner = de.handle("knactor-a", "a")
+        env.run(until=owner.create("x", {f"f{i}": v for i, v in enumerate(values)}))
+        first = env.run(until=executor.exchange("x"))
+        assert first.passes <= executor.options.max_passes
+        # Idempotence: nothing changes on a re-run over unchanged sources.
+        second = env.run(until=executor.exchange("x"))
+        assert second.writes == 0 and second.creates == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(spec=acyclic_dxgs(),
+           values=st.lists(st.integers(min_value=-100, max_value=100),
+                           min_size=5, max_size=5))
+    def test_computed_values_match_semantics(self, spec, values):
+        env, de, executor = _setup(spec)
+        owner = de.handle("knactor-a", "a")
+        env.run(until=owner.create("x", {f"f{i}": v for i, v in enumerate(values)}))
+        env.run(until=executor.exchange("x"))
+        reader = de.handle("knactor-b", "b")
+        target = env.run(until=reader.get("x"))["data"]
+        for assignment in spec.assignments:
+            expected = assignment.expression.evaluate(
+                {"A": {f"f{i}": v for i, v in enumerate(values)}, "this": {}}
+            )
+            assert target[assignment.field] == expected
+
+    @settings(max_examples=50)
+    @given(
+        n=st.integers(min_value=2, max_value=6),
+        extra_edges=st.integers(min_value=0, max_value=3),
+    )
+    def test_ring_dxgs_are_rejected(self, n, extra_edges):
+        """Any assignment ring must be caught by static analysis."""
+        inputs = {chr(ord("A") + i): f"app/v1/{i}/s{i}" for i in range(n)}
+        body = {}
+        names = sorted(inputs)
+        for i, name in enumerate(names):
+            source = names[(i + 1) % n]
+            body[name] = {"x": f"{source}.x + 1"}
+        spec = build_spec(inputs, body)
+        report = analyze(spec)
+        assert not report.ok and report.cycles
+
+    @settings(max_examples=40)
+    @given(spec=acyclic_dxgs())
+    def test_topological_order_respects_dependencies(self, spec):
+        graph = DependencyGraph.from_spec(spec)
+        order = graph.topological_order()
+        position = {node: i for i, node in enumerate(order)}
+        for node in order:
+            for pred in graph.predecessors(node):
+                if pred in position:
+                    assert position[pred] < position[node]
+
+
+# ---------------------------------------------------------------------------
+# ZQL laws
+# ---------------------------------------------------------------------------
+
+_records = st.lists(
+    st.fixed_dictionaries(
+        {"v": st.integers(min_value=-1000, max_value=1000),
+         "w": st.integers(min_value=0, max_value=10)}
+    ),
+    max_size=30,
+)
+
+
+class TestZQLProperties:
+    @given(records=_records)
+    def test_filter_output_subset_of_input(self, records):
+        out = compile_query([{"op": "filter", "expr": "v > 0"}])(list(records))
+        assert all(r in records for r in out)
+        assert all(r["v"] > 0 for r in out)
+
+    @given(records=_records)
+    def test_sort_is_an_ordered_permutation(self, records):
+        out = compile_query([{"op": "sort", "by": "v"}])(list(records))
+        assert sorted(out, key=lambda r: r["v"]) == out
+        assert sorted(map(repr, out)) == sorted(map(repr, records))
+
+    @given(records=_records)
+    def test_rename_preserves_count_and_values(self, records):
+        out = compile_query([{"op": "rename", "from": "v", "to": "value"}])(
+            list(records)
+        )
+        assert len(out) == len(records)
+        assert [r["value"] for r in out] == [r["v"] for r in records]
+
+    @given(records=_records)
+    def test_agg_sum_matches_manual(self, records):
+        [row] = compile_query([{"op": "agg", "aggs": {"t": "sum(v)", "n": "count()"}}])(
+            list(records)
+        )
+        assert row["t"] == sum(r["v"] for r in records)
+        assert row["n"] == len(records)
+
+    @given(records=_records)
+    def test_grouped_sum_partitions_total(self, records):
+        rows = compile_query(
+            [{"op": "agg", "aggs": {"t": "sum(v)"}, "by": ["w"]}]
+        )(list(records))
+        assert sum(r["t"] for r in rows) == sum(r["v"] for r in records)
+        assert len({r["w"] for r in rows}) == len(rows)
+
+    @given(records=_records)
+    def test_pipeline_never_mutates_input(self, records):
+        import copy
+
+        snapshot = copy.deepcopy(records)
+        compile_query(
+            [{"op": "derive", "field": "d", "expr": "v * 2"},
+             {"op": "filter", "expr": "d > 0"},
+             {"op": "sort", "by": "d"}]
+        )(records)
+        assert records == snapshot
+
+    @given(records=_records, k=st.integers(min_value=0, max_value=40))
+    def test_head_tail_bounds(self, records, k):
+        head = compile_query([{"op": "head", "count": k}])(list(records))
+        tail = compile_query([{"op": "tail", "count": k}])(list(records))
+        assert len(head) == min(k, len(records))
+        assert len(tail) == min(k, len(records))

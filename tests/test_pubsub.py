@@ -1,0 +1,158 @@
+"""Unit tests for the Pub/Sub baseline (broker, codec, client)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pubsub import Broker, CodecError, MessageCodec, PubSubClient
+from repro.pubsub.broker import topic_matches
+
+
+@pytest.fixture
+def broker(env, net):
+    return Broker(env, net)
+
+
+class TestTopicMatching:
+    @pytest.mark.parametrize(
+        "pattern,topic,expected",
+        [
+            ("home/motion", "home/motion", True),
+            ("home/motion", "home/lamp", False),
+            ("home/+", "home/motion", True),
+            ("home/+", "home/motion/1", False),
+            ("home/#", "home/motion/1", True),
+            ("#", "anything/at/all", True),
+            ("home/+/state", "home/lamp/state", True),
+            ("home/+/state", "home/lamp/brightness", False),
+        ],
+    )
+    def test_wildcards(self, pattern, topic, expected):
+        assert topic_matches(pattern, topic) is expected
+
+
+class TestBroker:
+    def test_publish_subscribe(self, env, broker, call):
+        received = []
+        broker.subscribe("home/motion", lambda t, m: received.append((t, m)), "house")
+        call(broker.publish("home/motion", b"hi", "motion-svc"))
+        env.run()
+        assert received == [("home/motion", b"hi")]
+
+    def test_multiple_subscribers(self, env, broker, call):
+        a, b = [], []
+        broker.subscribe("t", lambda *m: a.append(m), "svc-a")
+        broker.subscribe("t", lambda *m: b.append(m), "svc-b")
+        call(broker.publish("t", b"x", "pub"))
+        env.run()
+        assert len(a) == 1 and len(b) == 1
+
+    def test_retained_message_replayed_to_late_subscriber(self, env, broker, call):
+        call(broker.publish("cfg", b"retained", "pub", retain=True))
+        env.run()
+        received = []
+        broker.subscribe("cfg", lambda t, m: received.append(m), "late")
+        env.run()
+        assert received == [b"retained"]
+
+    def test_cancelled_subscription_stops(self, env, broker, call):
+        received = []
+        sub = broker.subscribe("t", lambda t, m: received.append(m), "svc")
+        sub.cancel()
+        call(broker.publish("t", b"x", "pub"))
+        env.run()
+        assert received == []
+
+    def test_fifo_per_subscriber(self, env, broker, call):
+        received = []
+        broker.subscribe("t", lambda t, m: received.append(m), "svc")
+        for i in range(10):
+            call(broker.publish("t", i, "pub"))
+        env.run()
+        assert received == list(range(10))
+
+    def test_wildcard_publish_rejected(self, broker):
+        with pytest.raises(ConfigurationError):
+            broker.publish("a/+", b"x", "pub")
+
+    def test_empty_pattern_rejected(self, broker):
+        with pytest.raises(ConfigurationError):
+            broker.subscribe("", lambda t, m: None, "svc")
+
+    def test_publish_costs_time(self, env, broker, call):
+        start = env.now
+        call(broker.publish("t", b"payload", "pub"))
+        assert env.now > start
+
+
+class TestCodec:
+    def codec(self, version=1):
+        return MessageCodec("motion.Reading", version,
+                            {"triggered": bool, "battery": (int, float)})
+
+    def test_roundtrip(self):
+        codec = self.codec()
+        data = codec.encode({"triggered": True, "battery": 0.9})
+        assert codec.decode(data) == {"triggered": True, "battery": 0.9}
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(CodecError):
+            self.codec().encode({"trigered": True})
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(CodecError):
+            self.codec().encode({"triggered": "yes"})
+
+    def test_version_mismatch_fails_decode(self):
+        v1, v2 = self.codec(1), self.codec(2)
+        data = v1.encode({"triggered": True})
+        with pytest.raises(CodecError, match="version mismatch"):
+            v2.decode(data)
+
+    def test_schema_name_mismatch(self):
+        other = MessageCodec("lamp.Command", 1, {"brightness": int})
+        data = self.codec().encode({"triggered": False})
+        with pytest.raises(CodecError, match="schema mismatch"):
+            other.decode(data)
+
+    def test_undecodable_bytes(self):
+        with pytest.raises(CodecError):
+            self.codec().decode(b"\xff\xfenot json")
+
+    def test_compatibility_check(self):
+        assert self.codec(1).compatible_with(self.codec(1))
+        assert not self.codec(1).compatible_with(self.codec(2))
+
+
+class TestClient:
+    def test_encoded_roundtrip_between_clients(self, env, broker, call):
+        codec = MessageCodec("motion.Reading", 1, {"triggered": bool})
+        motion = PubSubClient(broker, "motion-svc")
+        house = PubSubClient(broker, "house-svc")
+        received = []
+        house.subscribe("home/motion", lambda t, m: received.append(m), codec=codec)
+        call(motion.publish("home/motion", {"triggered": True}, codec=codec))
+        env.run()
+        assert received == [{"triggered": True}]
+
+    def test_schema_change_breaks_subscriber(self, env, broker, call):
+        """The T3 failure mode: publisher upgrades its schema version."""
+        v1 = MessageCodec("motion.Reading", 1, {"triggered": bool})
+        v2 = MessageCodec("motion.Reading", 2, {"triggered": bool})
+        motion = PubSubClient(broker, "motion-svc")
+        house = PubSubClient(broker, "house-svc")
+        outcomes = []
+        house.subscribe("home/motion", lambda t, m: outcomes.append(m), codec=v1)
+        call(motion.publish("home/motion", {"triggered": True}, codec=v2))
+        env.run()
+        assert len(outcomes) == 1 and isinstance(outcomes[0], CodecError)
+
+    def test_disconnect_cancels_all(self, env, broker, call):
+        client = PubSubClient(broker, "svc")
+        received = []
+        client.subscribe("a", lambda t, m: received.append(m))
+        client.subscribe("b", lambda t, m: received.append(m))
+        client.disconnect()
+        call(broker.publish("a", b"x", "pub"))
+        call(broker.publish("b", b"y", "pub"))
+        env.run()
+        assert received == []

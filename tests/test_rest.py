@@ -1,0 +1,142 @@
+"""Unit tests for the REST baseline (router, server, client)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rest import RestClient, RestServer, Response, Router
+from repro.rest.server import HTTPError
+
+
+class TestRouter:
+    def test_static_route(self):
+        router = Router().get("/orders", lambda r: {})
+        handler, params = router.resolve("GET", "/orders")
+        assert handler is not None and params == {}
+
+    def test_path_params_extracted(self):
+        router = Router().get("/orders/{id}/shipments/{sid}", lambda r: {})
+        _handler, params = router.resolve("GET", "/orders/o1/shipments/s9")
+        assert params == {"id": "o1", "sid": "s9"}
+
+    def test_method_mismatch(self):
+        router = Router().get("/orders", lambda r: {})
+        assert router.resolve("POST", "/orders") == (None, None)
+
+    def test_length_mismatch(self):
+        router = Router().get("/orders/{id}", lambda r: {})
+        assert router.resolve("GET", "/orders") == (None, None)
+        assert router.resolve("GET", "/orders/o1/extra") == (None, None)
+
+    def test_first_match_wins(self):
+        router = Router()
+        router.get("/orders/special", lambda r: "special")
+        router.get("/orders/{id}", lambda r: "generic")
+        handler, _ = router.resolve("GET", "/orders/special")
+        assert handler(None) == "special"
+
+    def test_all_verbs(self):
+        router = Router()
+        for verb in ("get", "post", "put", "patch", "delete"):
+            getattr(router, verb)(f"/{verb}", lambda r: {})
+        assert len(router) == 5
+
+    def test_invalid_method_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Router().add("BREW", "/coffee", lambda r: {})
+
+    def test_template_must_be_absolute(self):
+        with pytest.raises(ConfigurationError):
+            Router().get("orders", lambda r: {})
+
+
+@pytest.fixture
+def server(env, net):
+    server = RestServer(env, net, "orders-svc")
+    orders = {}
+
+    def create(request):
+        order_id = f"o{len(orders) + 1}"
+        orders[order_id] = dict(request.body or {}, id=order_id)
+        return Response(201, orders[order_id])
+
+    def read(request):
+        order = orders.get(request.params["id"])
+        if order is None:
+            raise HTTPError(404, f"no order {request.params['id']}")
+        return order
+
+    def update(request):
+        order = orders.get(request.params["id"])
+        if order is None:
+            raise HTTPError(404, "missing")
+        order.update(request.body or {})
+        return order
+
+    def slow(request):
+        yield env.timeout(0.5)
+        return {"slow": True}
+
+    server.route("POST", "/orders", create)
+    server.route("GET", "/orders/{id}", read)
+    server.route("PATCH", "/orders/{id}", update)
+    server.route("GET", "/slow", slow)
+    return server
+
+
+@pytest.fixture
+def client(env, server):
+    return RestClient(env, server, "frontend")
+
+
+class TestServerClient:
+    def test_crud_roundtrip(self, env, client, call):
+        created = call(client.post("/orders", body={"item": "mug"}))
+        assert created.status == 201
+        order_id = created.body["id"]
+        fetched = call(client.get(f"/orders/{order_id}"))
+        assert fetched.body["item"] == "mug"
+        call(client.patch(f"/orders/{order_id}", body={"item": "pen"}))
+        assert call(client.get(f"/orders/{order_id}")).body["item"] == "pen"
+
+    def test_404_raises_by_default(self, env, client, call):
+        with pytest.raises(HTTPError) as excinfo:
+            call(client.get("/orders/ghost"))
+        assert excinfo.value.status == 404
+
+    def test_unrouted_path_404(self, env, client, call):
+        with pytest.raises(HTTPError):
+            call(client.get("/nope"))
+
+    def test_raise_for_status_opt_out(self, env, client, call):
+        response = call(client.get("/orders/ghost", raise_for_status=False))
+        assert response.status == 404 and "no order" in response.body["error"]
+
+    def test_generator_handler(self, env, client, call):
+        start = env.now
+        response = call(client.get("/slow"))
+        assert response.body == {"slow": True}
+        assert env.now - start >= 0.5
+
+    def test_network_latency_charged(self, env, client, call):
+        start = env.now
+        call(client.post("/orders", body={"item": "x"}))
+        assert env.now - start >= 2 * 0.00025
+
+    def test_counters(self, env, server, client, call):
+        call(client.post("/orders", body={}))
+        call(client.get("/orders/o1"))
+        assert client.requests_made == 2
+        assert server.requests_served == 2
+
+    def test_internal_error_maps_to_500(self, env, net, call):
+        from repro.errors import StoreError
+
+        server = RestServer(env, net, "buggy")
+
+        def boom(request):
+            raise StoreError("backend exploded")
+
+        server.route("GET", "/boom", boom)
+        client = RestClient(env, server, "c")
+        response = call(client.get("/boom", raise_for_status=False))
+        assert response.status == 500

@@ -1,0 +1,49 @@
+"""Unit tests for the Table 2 stage-extraction machinery."""
+
+import pytest
+
+from repro.apps.retail import measure
+from repro.errors import ConfigurationError
+
+
+class TestStageExtraction:
+    def test_unknown_setup_rejected(self):
+        with pytest.raises(ConfigurationError):
+            measure.run_knactor_setup("K-mongodb")
+
+    def test_incomplete_requests_skipped(self):
+        """Requests cut off by the horizon must not poison the stats."""
+        bd = measure.run_knactor_setup("K-redis", orders=3, spacing=0.2)
+        # All three got long enough to complete in run_until_quiet.
+        assert bd.count() == 3
+
+    def test_stage_identity(self):
+        """Prop. == C-I + I + I-S (within float noise), per request."""
+        bd = measure.run_knactor_setup("K-redis", orders=5)
+        for ci, i, i_s, prop in zip(
+            bd.stages["C-I"], bd.stages["I"], bd.stages["I-S"],
+            bd.stages["Prop."],
+        ):
+            assert prop == pytest.approx(ci + i + i_s, abs=1e-9)
+
+    def test_total_is_prop_plus_s(self):
+        bd = measure.run_knactor_setup("K-redis", orders=5)
+        for prop, s, total in zip(
+            bd.stages["Prop."], bd.stages["S"], bd.stages["Total"]
+        ):
+            assert total == pytest.approx(prop + s, abs=1e-9)
+
+    def test_deterministic_given_seed(self):
+        a = measure.run_knactor_setup("K-redis", orders=3, seed=9)
+        b = measure.run_knactor_setup("K-redis", orders=3, seed=9)
+        assert a.stages == b.stages
+
+    def test_rpc_rows_have_no_knactor_stages(self):
+        bd = measure.run_rpc_setup(orders=3)
+        row = bd.row()
+        assert row["C-I"] is None and row["I"] is None and row["I-S"] is None
+        assert row["S"] is not None and row["Total"] is not None
+
+    def test_paper_reference_table_complete(self):
+        for setup, row in measure.PAPER_TABLE2.items():
+            assert set(row) == {"C-I", "I", "I-S", "S", "Prop.", "Total"}, setup

@@ -1,0 +1,212 @@
+"""Unit tests for the RPC baseline (IDL, codegen, channel)."""
+
+import pytest
+
+from repro.errors import IDLError, RPCStatusError
+from repro.rpc import (
+    RPCChannel,
+    RPCServer,
+    build_client_class,
+    generate_client_stub,
+    parse_idl,
+)
+
+SHIPPING_PROTO = """\
+syntax = "proto3";
+package onlineretail.shipping.v1;
+
+message Item {
+  string name = 1;
+}
+
+message ShipOrderRequest {
+  repeated Item items = 1;
+  string address = 2;
+  string method = 3;
+}
+
+message ShipOrderResponse {
+  string tracking_id = 1;
+  double shipping_cost = 2;
+  string currency = 3;
+}
+
+service ShippingService {
+  rpc ShipOrder(ShipOrderRequest) returns (ShipOrderResponse);
+}
+"""
+
+
+@pytest.fixture
+def idl():
+    return parse_idl(SHIPPING_PROTO)
+
+
+class TestIDLParsing:
+    def test_package_and_syntax(self, idl):
+        assert idl.package == "onlineretail.shipping.v1"
+        assert idl.syntax == "proto3"
+
+    def test_messages(self, idl):
+        request = idl.message("ShipOrderRequest")
+        assert request.field_names() == ["items", "address", "method"]
+        assert request.field_by_name("items").repeated
+        assert request.field_by_name("items").type == "Item"
+
+    def test_service_methods(self, idl):
+        method = idl.service("ShippingService").method("ShipOrder")
+        assert (method.request, method.response) == (
+            "ShipOrderRequest",
+            "ShipOrderResponse",
+        )
+
+    def test_comments_ignored(self):
+        idl = parse_idl("// header\nmessage M {\n  string x = 1; // trailing\n}\n")
+        assert idl.message("M").field_names() == ["x"]
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "message M {\n  string x = 1;\n",  # unterminated
+            "message M {\n  stringx1;\n}\n",  # bad field
+            "message M {\n  string x = 1;\n  string y = 1;\n}\n",  # dup tag
+            "message M {\n  Unknown x = 1;\n}\n",  # unknown type
+            "service S {\n  rpc F(Nope) returns (Nope);\n}\n",  # unknown msg
+            "floating line\n",
+            "message M {\n  string x = 1;\n}\nmessage M {\n  string y = 1;\n}\n",
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(IDLError):
+            parse_idl(bad)
+
+
+class TestPayloadValidation:
+    def test_valid_payload(self, idl):
+        idl.validate_payload(
+            "ShipOrderRequest",
+            {"items": [{"name": "mug"}], "address": "12 Elm St"},
+        )
+
+    def test_missing_fields_default(self, idl):
+        idl.validate_payload("ShipOrderRequest", {})
+
+    def test_unknown_field_rejected(self, idl):
+        with pytest.raises(IDLError):
+            idl.validate_payload("ShipOrderRequest", {"addr": "typo"})
+
+    def test_wrong_type_rejected(self, idl):
+        with pytest.raises(IDLError):
+            idl.validate_payload("ShipOrderRequest", {"address": 42})
+
+    def test_repeated_needs_list(self, idl):
+        with pytest.raises(IDLError):
+            idl.validate_payload("ShipOrderRequest", {"items": {"name": "x"}})
+
+    def test_nested_message_checked(self, idl):
+        with pytest.raises(IDLError):
+            idl.validate_payload("ShipOrderRequest", {"items": [{"nam": "typo"}]})
+
+    def test_bool_is_not_double(self, idl):
+        with pytest.raises(IDLError):
+            idl.validate_payload("ShipOrderResponse", {"shipping_cost": True})
+
+
+class TestCodegen:
+    def test_stub_source_shape(self, idl):
+        source = generate_client_stub(idl)
+        assert "class ShippingServiceStub:" in source
+        assert "def ship_order(self, request, deadline=None):" in source
+        assert "def make_ship_order_request(" in source
+        assert "DO NOT EDIT" in source
+
+    def test_generated_source_compiles(self, idl):
+        compile(generate_client_stub(idl), "<stub>", "exec")
+
+    def test_runtime_stub_validates_requests(self, env, net, idl):
+        server = RPCServer(env, net, "shipping")
+        channel = RPCChannel(env, server, "checkout")
+        stub_class = build_client_class(idl, "ShippingService")
+        stub = stub_class(channel)
+        with pytest.raises(IDLError):
+            stub.ship_order({"bogus_field": 1})
+
+    def test_no_services_rejected(self):
+        idl = parse_idl("message M {\n  string x = 1;\n}\n")
+        with pytest.raises(IDLError):
+            generate_client_stub(idl)
+
+
+class TestChannel:
+    def make_server(self, env, net, idl, service_time=0.0):
+        server = RPCServer(env, net, "shipping")
+
+        def handler(request):
+            if service_time:
+                yield env.timeout(service_time)
+            return {"tracking_id": "trk-1", "shipping_cost": 4.5}
+
+        server.register("ShippingService", "ShipOrder", handler, idl=idl)
+        return server
+
+    def test_roundtrip(self, env, net, idl, call):
+        server = self.make_server(env, net, idl)
+        channel = RPCChannel(env, server, "checkout")
+        response = call(
+            channel.call("ShippingService", "ShipOrder", {"address": "x"})
+        )
+        assert response["tracking_id"] == "trk-1"
+        assert server.calls_served == 1 and channel.calls_made == 1
+
+    def test_latency_includes_network_and_service_time(self, env, net, idl, call):
+        server = self.make_server(env, net, idl, service_time=0.446)
+        channel = RPCChannel(env, server, "checkout")
+        start = env.now
+        call(channel.call("ShippingService", "ShipOrder", {}))
+        elapsed = env.now - start
+        assert elapsed >= 0.446 + 2 * 0.00025
+
+    def test_unimplemented_status(self, env, net, idl, call):
+        server = RPCServer(env, net, "shipping")
+        channel = RPCChannel(env, server, "checkout")
+        with pytest.raises(RPCStatusError) as excinfo:
+            call(channel.call("ShippingService", "ShipOrder", {}))
+        assert excinfo.value.code == "UNIMPLEMENTED"
+
+    def test_invalid_argument_status(self, env, net, idl, call):
+        server = self.make_server(env, net, idl)
+        channel = RPCChannel(env, server, "checkout")
+        with pytest.raises(RPCStatusError) as excinfo:
+            call(channel.call("ShippingService", "ShipOrder", {"bogus": 1}))
+        assert excinfo.value.code == "INVALID_ARGUMENT"
+
+    def test_handler_error_maps_to_status(self, env, net, idl, call):
+        server = RPCServer(env, net, "shipping")
+
+        def handler(request):
+            raise RPCStatusError("NOT_FOUND", "no such order")
+
+        server.register("ShippingService", "ShipOrder", handler, idl=idl)
+        channel = RPCChannel(env, server, "checkout")
+        with pytest.raises(RPCStatusError) as excinfo:
+            call(channel.call("ShippingService", "ShipOrder", {}))
+        assert excinfo.value.code == "NOT_FOUND"
+
+    def test_bad_response_is_internal_error(self, env, net, idl, call):
+        server = RPCServer(env, net, "shipping")
+        server.register(
+            "ShippingService", "ShipOrder",
+            lambda request: {"not_a_field": 1}, idl=idl,
+        )
+        channel = RPCChannel(env, server, "checkout")
+        with pytest.raises(RPCStatusError) as excinfo:
+            call(channel.call("ShippingService", "ShipOrder", {}))
+        assert excinfo.value.code == "INTERNAL"
+
+    def test_deadline_exceeded(self, env, net, idl, call):
+        server = self.make_server(env, net, idl, service_time=10.0)
+        channel = RPCChannel(env, server, "checkout")
+        with pytest.raises(RPCStatusError) as excinfo:
+            call(channel.call("ShippingService", "ShipOrder", {}, deadline=0.5))
+        assert excinfo.value.code == "DEADLINE_EXCEEDED"
+        assert env.now < 1.0

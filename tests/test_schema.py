@@ -1,0 +1,191 @@
+"""Unit tests for the schema system (types, annotations, Schema)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema import (
+    Annotations,
+    ArrayType,
+    BooleanType,
+    Field,
+    IntegerType,
+    NumberType,
+    ObjectType,
+    Schema,
+    SchemaName,
+    StringType,
+    parse_annotation,
+    parse_type,
+)
+
+CHECKOUT_SCHEMA = """\
+schema: OnlineRetail/v1/Checkout/Order
+items: object
+address: string
+cost: number
+shippingCost: number # +kr: external
+totalCost: number
+currency: string
+paymentID: string # +kr: external
+trackingID: string # +kr: external
+"""
+
+
+class TestTypes:
+    @pytest.mark.parametrize(
+        "spelling,good,bad",
+        [
+            ("string", "hi", 5),
+            ("number", 1.5, "x"),
+            ("number", 3, "x"),
+            ("integer", 3, 3.5),
+            ("boolean", True, 1),
+            ("object", {"k": 1}, [1]),
+            ("array", [1, "a"], {"k": 1}),
+            ("array<string>", ["a", "b"], ["a", 1]),
+        ],
+    )
+    def test_check(self, spelling, good, bad):
+        t = parse_type(spelling)
+        assert t.check(good)
+        assert not t.check(bad)
+
+    def test_none_always_conforms(self):
+        for spelling in ("string", "number", "object", "array<number>"):
+            assert parse_type(spelling).check(None)
+
+    def test_bool_is_not_number(self):
+        assert not NumberType().check(True)
+        assert not IntegerType().check(False)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SchemaError):
+            parse_type("widget")
+
+    def test_parse_type_idempotent_on_type_objects(self):
+        t = StringType()
+        assert parse_type(t) is t
+
+    def test_array_describe_roundtrip(self):
+        t = parse_type("array<array<integer>>")
+        assert t.describe() == "array<array<integer>>"
+        assert parse_type(t.describe()) == t
+
+    def test_type_equality(self):
+        assert parse_type("string") == StringType()
+        assert parse_type("array<string>") != ArrayType()
+        assert BooleanType() != StringType()
+
+
+class TestAnnotations:
+    def test_plain_comment_is_empty(self):
+        assert not parse_annotation("just a note")
+
+    def test_none_is_empty(self):
+        assert parse_annotation(None) == Annotations()
+
+    def test_external(self):
+        ann = parse_annotation("+kr: external")
+        assert ann.external and not ann.secret
+
+    def test_multiple_tokens(self):
+        ann = parse_annotation("+kr: external, immutable")
+        assert ann.external and ann.immutable
+
+    def test_unknown_token_rejected(self):
+        with pytest.raises(SchemaError):
+            parse_annotation("+kr: exernal")  # typo must not pass silently
+
+    def test_describe_roundtrip(self):
+        ann = parse_annotation("+kr: secret, ingest")
+        assert parse_annotation(ann.describe()) == ann
+
+
+class TestSchemaName:
+    def test_parse_four_part(self):
+        name = SchemaName.parse("OnlineRetail/v1/Checkout/Order")
+        assert (name.app, name.version, name.service, name.resource) == (
+            "OnlineRetail",
+            "v1",
+            "Checkout",
+            "Order",
+        )
+
+    def test_parse_three_part(self):
+        name = SchemaName.parse("OnlineRetail/v1/Checkout")
+        assert name.resource == ""
+        assert str(name) == "OnlineRetail/v1/Checkout"
+
+    def test_invalid_rejected(self):
+        with pytest.raises(SchemaError):
+            SchemaName.parse("just-a-name")
+
+    def test_with_version(self):
+        name = SchemaName.parse("App/v1/Svc/Res").with_version("v2")
+        assert str(name) == "App/v2/Svc/Res"
+
+    def test_parse_is_idempotent(self):
+        name = SchemaName.parse("A/v1/B")
+        assert SchemaName.parse(name) is name
+
+
+class TestSchema:
+    def test_fig5_parses(self):
+        schema = Schema.from_text(CHECKOUT_SCHEMA)
+        assert str(schema.name) == "OnlineRetail/v1/Checkout/Order"
+        assert len(schema.fields) == 8
+        assert isinstance(schema.field("items").type, ObjectType)
+        assert isinstance(schema.field("cost").type, NumberType)
+
+    def test_fig5_external_fields(self):
+        schema = Schema.from_text(CHECKOUT_SCHEMA)
+        externals = {f.path for f in schema.external_fields()}
+        assert externals == {"shippingCost", "paymentID", "trackingID"}
+
+    def test_nested_fields(self):
+        schema = Schema.from_text(
+            "schema: App/v1/Shipping/Shipment\n"
+            "quote:\n"
+            "  price: number\n"
+            "  currency: string\n"
+        )
+        assert schema.has_field("quote.price")
+        assert isinstance(schema.field("quote").type, ObjectType)
+        assert [f.path for f in schema.children("quote")] == [
+            "quote.price",
+            "quote.currency",
+        ]
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.from_text("a: string\n")
+
+    def test_duplicate_field_rejected(self):
+        schema = Schema("A/v1/B/C")
+        schema.add_field(Field("x"))
+        with pytest.raises(SchemaError):
+            schema.add_field(Field("x"))
+
+    def test_orphan_nested_field_rejected(self):
+        schema = Schema("A/v1/B/C")
+        with pytest.raises(SchemaError):
+            schema.add_field(Field("parent.child"))
+
+    def test_unknown_field_lookup_raises(self):
+        schema = Schema.from_text(CHECKOUT_SCHEMA)
+        with pytest.raises(SchemaError):
+            schema.field("nope")
+
+    def test_text_roundtrip(self):
+        schema = Schema.from_text(CHECKOUT_SCHEMA)
+        assert Schema.from_text(schema.to_text()) == schema
+
+    def test_dict_roundtrip(self):
+        schema = Schema.from_text(CHECKOUT_SCHEMA)
+        assert Schema.from_dict(schema.to_dict()) == schema
+
+    def test_top_level_excludes_nested(self):
+        schema = Schema.from_text(
+            "schema: A/v1/B/C\nquote:\n  price: number\nid: string\n"
+        )
+        assert {f.path for f in schema.top_level()} == {"quote", "id"}

@@ -1,0 +1,156 @@
+"""Unit tests for state validation and schema diff/registry."""
+
+import pytest
+
+from repro.errors import NotFoundError, SchemaError
+from repro.schema import Schema, SchemaRegistry, diff_schemas, validate_state
+
+
+def make_schema(text="schema: App/v1/Svc/Res\nname: string\ncount: number\n"):
+    return Schema.from_text(text)
+
+
+class TestValidation:
+    def test_valid_state(self):
+        result = validate_state({"name": "x", "count": 3}, make_schema())
+        assert result.ok
+
+    def test_type_violation_reported(self):
+        result = validate_state({"name": 5}, make_schema())
+        assert not result.ok
+        assert "name" in result.errors[0]
+
+    def test_all_violations_reported(self):
+        result = validate_state({"name": 5, "count": "x"}, make_schema())
+        assert len(result.errors) == 2
+
+    def test_unknown_field_rejected_by_default(self):
+        result = validate_state({"bogus": 1}, make_schema())
+        assert not result.ok
+
+    def test_unknown_field_allowed_when_requested(self):
+        result = validate_state({"bogus": 1}, make_schema(), allow_unknown=True)
+        assert result.ok
+
+    def test_required_field(self):
+        schema = Schema.from_dict(
+            {
+                "schema": "App/v1/Svc/Res",
+                "fields": [{"path": "id", "type": "string", "required": True}],
+            }
+        )
+        assert not validate_state({}, schema).ok
+        assert validate_state({}, schema, partial=True).ok
+        assert validate_state({"id": "x"}, schema).ok
+
+    def test_open_object_accepts_arbitrary_children(self):
+        schema = make_schema("schema: App/v1/Svc/Res\nitems: object\n")
+        result = validate_state({"items": {"anything": {"nested": 1}}}, schema)
+        assert result.ok
+
+    def test_declared_children_are_closed(self):
+        schema = make_schema(
+            "schema: App/v1/Svc/Res\nquote:\n  price: number\n"
+        )
+        assert validate_state({"quote": {"price": 1}}, schema).ok
+        assert not validate_state({"quote": {"other": 1}}, schema).ok
+
+    def test_non_dict_state_rejected(self):
+        assert not validate_state([1, 2], make_schema()).ok
+
+    def test_raise_if_invalid(self):
+        result = validate_state({"name": 5}, make_schema())
+        with pytest.raises(SchemaError):
+            result.raise_if_invalid()
+
+    def test_nested_type_checked(self):
+        schema = make_schema(
+            "schema: App/v1/Svc/Res\nquote:\n  price: number\n"
+        )
+        assert not validate_state({"quote": {"price": "cheap"}}, schema).ok
+
+
+class TestDiff:
+    def test_no_changes(self):
+        delta = diff_schemas(make_schema(), make_schema())
+        assert delta.empty and delta.is_backward_compatible()
+        assert delta.summary() == "no changes"
+
+    def test_addition_is_compatible(self):
+        new = make_schema(
+            "schema: App/v2/Svc/Res\nname: string\ncount: number\nextra: string\n"
+        )
+        delta = diff_schemas(make_schema(), new)
+        assert delta.added == ["extra"]
+        assert delta.is_backward_compatible()
+
+    def test_removal_is_breaking(self):
+        new = make_schema("schema: App/v2/Svc/Res\nname: string\n")
+        delta = diff_schemas(make_schema(), new)
+        assert delta.removed == ["count"]
+        assert not delta.is_backward_compatible()
+
+    def test_retype_is_breaking(self):
+        new = make_schema("schema: App/v2/Svc/Res\nname: number\ncount: number\n")
+        delta = diff_schemas(make_schema(), new)
+        assert delta.retyped == [("name", "string", "number")]
+        assert not delta.is_backward_compatible()
+
+    def test_reannotation_is_compatible(self):
+        new = make_schema(
+            "schema: App/v2/Svc/Res\nname: string # +kr: external\ncount: number\n"
+        )
+        delta = diff_schemas(make_schema(), new)
+        assert [p for p, _o, _n in delta.reannotated] == ["name"]
+        assert delta.is_backward_compatible()
+
+    def test_unrelated_schemas_rejected(self):
+        other = make_schema("schema: Other/v1/Svc2/Res\nname: string\n")
+        with pytest.raises(SchemaError):
+            diff_schemas(make_schema(), other)
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        registry = SchemaRegistry()
+        schema = make_schema()
+        registry.register(schema)
+        assert registry.get("App/v1/Svc/Res") is schema
+        assert "App/v1/Svc/Res" in registry
+
+    def test_get_missing_raises(self):
+        with pytest.raises(NotFoundError):
+            SchemaRegistry().get("App/v1/Nope/Res")
+
+    def test_compatible_update_allowed(self):
+        registry = SchemaRegistry()
+        registry.register(make_schema())
+        wider = make_schema(
+            "schema: App/v1/Svc/Res\nname: string\ncount: number\nextra: string\n"
+        )
+        delta = registry.register(wider)
+        assert delta.added == ["extra"]
+        assert registry.get("App/v1/Svc/Res") is wider
+
+    def test_breaking_update_blocked(self):
+        registry = SchemaRegistry()
+        registry.register(make_schema())
+        narrower = make_schema("schema: App/v1/Svc/Res\nname: string\n")
+        with pytest.raises(SchemaError):
+            registry.register(narrower)
+        registry.register(narrower, allow_breaking=True)
+        assert registry.get("App/v1/Svc/Res") is narrower
+
+    def test_versions_listed(self):
+        registry = SchemaRegistry()
+        registry.register(make_schema("schema: App/v1/Svc/Res\nname: string\n"))
+        registry.register(make_schema("schema: App/v2/Svc/Res\nname: string\n"))
+        assert registry.versions("App", "Svc", "Res") == ["v1", "v2"]
+
+    def test_for_service(self):
+        registry = SchemaRegistry()
+        registry.register(make_schema("schema: App/v1/Svc/A\nname: string\n"))
+        registry.register(make_schema("schema: App/v1/Svc/B\nname: string\n"))
+        registry.register(make_schema("schema: App/v1/Other/C\nname: string\n"))
+        assert len(registry.for_service("App", "Svc")) == 2
+        assert len(registry) == 3

@@ -1,0 +1,155 @@
+"""Unit tests for Store (FIFO queue) and Resource (semaphore)."""
+
+import pytest
+
+from repro.simnet import Environment, Resource, Store
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestStore:
+    def test_put_then_get(self, env):
+        store = Store(env)
+
+        def proc(env):
+            yield store.put("x")
+            item = yield store.get()
+            return item
+
+        p = env.process(proc(env))
+        assert env.run(until=p) == "x"
+
+    def test_get_blocks_until_put(self, env):
+        store = Store(env)
+        got = []
+
+        def consumer(env):
+            item = yield store.get()
+            got.append((env.now, item))
+
+        def producer(env):
+            yield env.timeout(3.0)
+            yield store.put("late")
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert got == [(3.0, "late")]
+
+    def test_fifo_ordering(self, env):
+        store = Store(env)
+        order = []
+
+        def producer(env):
+            for i in range(5):
+                yield store.put(i)
+
+        def consumer(env):
+            for _ in range(5):
+                item = yield store.get()
+                order.append(item)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_bounded_capacity_blocks_putter(self, env):
+        store = Store(env, capacity=1)
+        log = []
+
+        def producer(env):
+            yield store.put("a")
+            log.append(("put-a", env.now))
+            yield store.put("b")
+            log.append(("put-b", env.now))
+
+        def consumer(env):
+            yield env.timeout(5.0)
+            yield store.get()
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert log == [("put-a", 0.0), ("put-b", 5.0)]
+
+    def test_invalid_capacity(self, env):
+        with pytest.raises(ValueError):
+            Store(env, capacity=0)
+
+    def test_len_reflects_items(self, env):
+        store = Store(env)
+        store.put(1)
+        store.put(2)
+        env.run()
+        assert len(store) == 2
+
+
+class TestResource:
+    def test_capacity_limits_concurrency(self, env):
+        resource = Resource(env, capacity=2)
+        active = []
+        peak = []
+
+        def worker(env, name):
+            yield resource.acquire()
+            active.append(name)
+            peak.append(len(active))
+            yield env.timeout(1.0)
+            active.remove(name)
+            resource.release()
+
+        for i in range(5):
+            env.process(worker(env, i))
+        env.run()
+        assert max(peak) == 2
+
+    def test_fifo_grant_order(self, env):
+        resource = Resource(env, capacity=1)
+        grants = []
+
+        def worker(env, name, start_delay):
+            yield env.timeout(start_delay)
+            yield resource.acquire()
+            grants.append(name)
+            yield env.timeout(10.0)
+            resource.release()
+
+        env.process(worker(env, "first", 0.0))
+        env.process(worker(env, "second", 1.0))
+        env.process(worker(env, "third", 2.0))
+        env.run()
+        assert grants == ["first", "second", "third"]
+
+    def test_release_without_acquire_raises(self, env):
+        resource = Resource(env)
+        with pytest.raises(RuntimeError):
+            resource.release()
+
+    def test_invalid_capacity(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_counters(self, env):
+        resource = Resource(env, capacity=1)
+
+        def holder(env):
+            yield resource.acquire()
+            yield env.timeout(5.0)
+            resource.release()
+
+        def waiter(env):
+            yield env.timeout(1.0)
+            yield resource.acquire()
+            resource.release()
+
+        env.process(holder(env))
+        env.process(waiter(env))
+        env.run(until=2.0)
+        assert resource.in_use == 1
+        assert resource.queued == 1
+        env.run()
+        assert resource.in_use == 0

@@ -1,0 +1,77 @@
+"""Unit tests for the tracer used by latency benchmarks."""
+
+import pytest
+
+from repro.simnet import Environment, Tracer
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def tracer(env):
+    return Tracer(env)
+
+
+class TestTracer:
+    def test_record_point_event(self, env, tracer):
+        env.run(until=1.5)
+        tracer.record("stage", "arrive", request=7)
+        assert len(tracer.events) == 1
+        evt = tracer.events[0]
+        assert (evt.time, evt.category, evt.name) == (1.5, "stage", "arrive")
+        assert evt.attrs == {"request": 7}
+
+    def test_span_duration(self, env, tracer):
+        tracer.begin("stage", "work", key=1)
+        env.run(until=2.0)
+        span = tracer.end("stage", "work", key=1)
+        assert span.duration == 2.0
+
+    def test_concurrent_spans_keyed(self, env, tracer):
+        tracer.begin("stage", "work", key="a")
+        env.run(until=1.0)
+        tracer.begin("stage", "work", key="b")
+        env.run(until=3.0)
+        tracer.end("stage", "work", key="a")
+        env.run(until=4.0)
+        tracer.end("stage", "work", key="b")
+        assert sorted(tracer.durations("stage", "work")) == [3.0, 3.0]
+
+    def test_end_unknown_span_raises(self, tracer):
+        with pytest.raises(KeyError):
+            tracer.end("stage", "missing")
+
+    def test_open_span_duration_raises(self, env, tracer):
+        span = tracer.begin("stage", "open")
+        with pytest.raises(ValueError):
+            span.duration
+
+    def test_timestamps_keyed_by_attribute(self, env, tracer):
+        tracer.record("order", "created", order_id="o1")
+        env.run(until=1.0)
+        tracer.record("order", "created", order_id="o2")
+        env.run(until=2.0)
+        tracer.record("order", "created", order_id="o1")  # duplicate kept first
+        stamps = tracer.timestamps("order", "created", key_attr="order_id")
+        assert stamps == {"o1": 0.0, "o2": 1.0}
+
+    def test_timestamps_unkeyed_sorted(self, env, tracer):
+        tracer.record("a", "x")
+        env.run(until=2.0)
+        tracer.record("a", "x")
+        assert tracer.timestamps("a", "x") == [0.0, 2.0]
+
+    def test_events_by_name_filters_category(self, tracer):
+        tracer.record("cat1", "n1")
+        tracer.record("cat2", "n2")
+        grouped = tracer.events_by_name("cat1")
+        assert list(grouped) == [("cat1", "n1")]
+
+    def test_clear(self, env, tracer):
+        tracer.record("a", "b")
+        tracer.begin("s", "t")
+        tracer.clear()
+        assert tracer.events == [] and tracer.spans == []

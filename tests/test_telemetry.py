@@ -1,0 +1,102 @@
+"""Tests for the telemetry / SLO-monitoring layer."""
+
+import pytest
+
+from repro.apps.retail.knactor_app import RetailKnactorApp
+from repro.apps.retail.workload import OrderWorkload
+from repro.core.optimizer import K_REDIS
+from repro.errors import ConfigurationError
+from repro.metrics.telemetry import (
+    SLOMonitor,
+    exchange_durations,
+    reconcile_durations,
+    runtime_snapshot,
+)
+
+
+@pytest.fixture(scope="module")
+def app():
+    app = RetailKnactorApp.build(profile=K_REDIS, with_notify=False)
+    workload = OrderWorkload(seed=7)
+    for _ in range(3):
+        key, data = workload.next_order()
+        app.env.run(until=app.place_order(key, data))
+    app.run_until_quiet(max_seconds=60.0)
+    return app
+
+
+class TestSnapshot:
+    def test_covers_all_components(self, app):
+        snapshot = runtime_snapshot(app.runtime)
+        assert set(snapshot["knactors"]) == set(app.runtime.knactors)
+        assert "retail-cast" in snapshot["integrators"]
+        assert snapshot["exchanges"]["object"]["audited_accesses"] > 0
+
+    def test_reconciler_counters(self, app):
+        shipping = runtime_snapshot(app.runtime)["knactors"]["shipping"]
+        assert shipping["reconciles"] >= 3
+        assert shipping["queue_depth"] == 0  # quiescent
+
+    def test_backend_op_counts_present(self, app):
+        ops = runtime_snapshot(app.runtime)["exchanges"]["object"]["backend_ops"]
+        assert ops.get("create", 0) >= 3
+        assert ops.get("patch", 0) >= 3
+
+
+class TestExchangeDurations:
+    def test_one_span_per_exchange(self, app):
+        durations = exchange_durations(app.tracer, "retail-cast")
+        assert len(durations) == app.cast.exchanges_run
+        assert all(d >= 0 for d in durations)
+
+    def test_unknown_integrator_has_no_spans(self, app):
+        assert exchange_durations(app.tracer, "nope") == []
+
+    def test_reconcile_durations_per_knactor(self, app):
+        durations = reconcile_durations(app.tracer, "shipping")
+        assert len(durations) >= 3
+        # The carrier call dominates each shipping reconcile.
+        assert all(d > 0.4 for d in durations if d > 0.01)
+
+    def test_reconcile_durations_unknown_knactor(self, app):
+        assert reconcile_durations(app.tracer, "ghost") == []
+
+
+class TestSLOMonitor:
+    def test_met_slo(self, app):
+        monitor = SLOMonitor("exchange-fast", "retail-cast",
+                             target_seconds=1.0)
+        report = monitor.evaluate(app.tracer)
+        assert report.met
+        assert report.sample_count == app.cast.exchanges_run
+        assert "MET" in report.describe()
+
+    def test_violated_slo(self, app):
+        monitor = SLOMonitor("impossible", "retail-cast",
+                             target_seconds=1e-9)
+        report = monitor.evaluate(app.tracer)
+        assert not report.met
+        assert "VIOLATED" in report.describe()
+
+    def test_custom_percentile(self, app):
+        monitor = SLOMonitor("median", "retail-cast",
+                             target_seconds=1.0, percentile=0.5)
+        report = monitor.evaluate(app.tracer)
+        assert report.percentile == 0.5
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            SLOMonitor("x", "cast", target_seconds=0)
+        with pytest.raises(ConfigurationError):
+            SLOMonitor("x", "cast", target_seconds=1, percentile=1.5)
+
+    def test_no_samples_raises(self, app):
+        monitor = SLOMonitor("empty", "ghost-integrator", target_seconds=1.0)
+        with pytest.raises(ConfigurationError):
+            monitor.evaluate(app.tracer)
+
+    def test_reports_accumulate(self, app):
+        monitor = SLOMonitor("history", "retail-cast", target_seconds=1.0)
+        monitor.evaluate(app.tracer)
+        monitor.evaluate(app.tracer)
+        assert len(monitor.reports) == 2

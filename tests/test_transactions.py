@@ -1,0 +1,259 @@
+"""Tests for atomic transactions: backend, DE, and executor levels."""
+
+import pytest
+
+from repro.errors import (
+    AccessDeniedError,
+    AlreadyExistsError,
+    ConfigurationError,
+    ConflictError,
+    NotFoundError,
+    SchemaError,
+    StoreError,
+)
+from repro.exchange import ObjectDE
+from repro.store import ApiServer, ApiServerClient, MemKV, MemKVClient
+
+
+@pytest.fixture
+def client(env, zero_net):
+    return ApiServerClient(ApiServer(env, zero_net, watch_overhead=0.0), "t")
+
+
+class TestBackendTxn:
+    def test_create_and_patch_atomically(self, client, call):
+        views = call(
+            client.txn(
+                [
+                    {"action": "create", "key": "a", "data": {"v": 1}},
+                    {"action": "create", "key": "b", "data": {"v": 2}},
+                    {"action": "patch", "key": "a", "patch": {"w": 3}},
+                ]
+            )
+        )
+        assert len(views) == 3
+        assert call(client.get("a"))["data"] == {"v": 1, "w": 3}
+        assert call(client.get("b"))["data"] == {"v": 2}
+
+    def test_any_failure_applies_nothing(self, client, call):
+        call(client.create("existing", {"v": 0}))
+        with pytest.raises(AlreadyExistsError):
+            call(
+                client.txn(
+                    [
+                        {"action": "create", "key": "new", "data": {"v": 1}},
+                        {"action": "create", "key": "existing", "data": {}},
+                    ]
+                )
+            )
+        with pytest.raises(NotFoundError):
+            call(client.get("new"))  # first op must NOT have applied
+
+    def test_missing_target_aborts(self, client, call):
+        with pytest.raises(NotFoundError):
+            call(client.txn([{"action": "patch", "key": "ghost", "patch": {}}]))
+
+    def test_stale_resource_version_aborts(self, client, call):
+        created = call(client.create("k", {"v": 1}))
+        call(client.update("k", {"v": 2}))
+        with pytest.raises(ConflictError):
+            call(
+                client.txn(
+                    [
+                        {"action": "create", "key": "other", "data": {}},
+                        {"action": "update", "key": "k", "data": {"v": 3},
+                         "resource_version": created["revision"]},
+                    ]
+                )
+            )
+        with pytest.raises(NotFoundError):
+            call(client.get("other"))
+
+    def test_create_then_patch_same_key_is_legal(self, client, call):
+        call(
+            client.txn(
+                [
+                    {"action": "create", "key": "x", "data": {"v": 1}},
+                    {"action": "patch", "key": "x", "patch": {"w": 2}},
+                ]
+            )
+        )
+        assert call(client.get("x"))["data"] == {"v": 1, "w": 2}
+
+    def test_delete_within_txn(self, client, call):
+        call(client.create("gone", {"v": 1}))
+        call(
+            client.txn(
+                [
+                    {"action": "delete", "key": "gone"},
+                    {"action": "create", "key": "kept", "data": {}},
+                ]
+            )
+        )
+        with pytest.raises(NotFoundError):
+            call(client.get("gone"))
+        assert call(client.get("kept"))
+
+    def test_empty_or_malformed_rejected(self, client, call):
+        with pytest.raises(StoreError):
+            call(client.txn([]))
+        with pytest.raises(StoreError):
+            call(client.txn([{"action": "explode", "key": "k"}]))
+        with pytest.raises(StoreError):
+            call(client.txn([{"action": "create"}]))
+
+    def test_watchers_see_all_events_in_order(self, env, client, call):
+        events = []
+        client.watch(events.append)
+        call(
+            client.txn(
+                [
+                    {"action": "create", "key": "a", "data": {"v": 1}},
+                    {"action": "create", "key": "b", "data": {"v": 2}},
+                ]
+            )
+        )
+        env.run()
+        assert [e.key for e in events] == ["a", "b"]
+        assert events[1].revision == events[0].revision + 1
+
+    def test_memkv_txn_parity(self, env, zero_net, call):
+        client = MemKVClient(MemKV(env, zero_net, watch_overhead=0.0), "t")
+        call(
+            client.txn(
+                [
+                    {"action": "create", "key": "a", "data": {"v": 1}},
+                    {"action": "patch", "key": "a", "patch": {"v": 2}},
+                ]
+            )
+        )
+        assert call(client.get("a"))["data"] == {"v": 2}
+
+
+ORDER_SCHEMA = """\
+schema: App/v1/Checkout/Order
+cost: number
+trackingID: string # +kr: external
+"""
+
+SHIPMENT_SCHEMA = """\
+schema: App/v1/Shipping/Shipment
+addr: string # +kr: external
+internal: string
+"""
+
+
+@pytest.fixture
+def de(env, zero_net):
+    exchange = ObjectDE(env, ApiServer(env, zero_net, watch_overhead=0.0))
+    exchange.host_store("knactor-checkout", ORDER_SCHEMA, owner="checkout")
+    exchange.host_store("knactor-shipping", SHIPMENT_SCHEMA, owner="shipping")
+    exchange.grant_integrator("cast", "knactor-checkout")
+    exchange.grant_integrator("cast", "knactor-shipping")
+    return exchange
+
+
+class TestDETransaction:
+    def test_cross_store_atomic_commit(self, de, call):
+        checkout = de.handle("knactor-checkout", "checkout")
+        call(checkout.create("o1", {"cost": 10}))
+        txn = de.transaction("cast")
+        txn.patch("knactor-checkout", "o1", {"trackingID": "trk-1"})
+        txn.create("knactor-shipping", "o1", {"addr": "12 Elm St"})
+        views = call(txn.commit())
+        assert len(views) == 2
+        assert call(checkout.get("o1"))["data"]["trackingID"] == "trk-1"
+        shipping = de.handle("knactor-shipping", "shipping")
+        assert call(shipping.get("o1"))["data"]["addr"] == "12 Elm St"
+
+    def test_acl_enforced_per_operation(self, de):
+        txn = de.transaction("cast")
+        with pytest.raises(AccessDeniedError):
+            txn.patch("knactor-checkout", "o1", {"cost": 0.01})  # not external
+        with pytest.raises(AccessDeniedError):
+            de.transaction("stranger").patch(
+                "knactor-checkout", "o1", {"trackingID": "x"}
+            )
+
+    def test_schema_enforced_per_operation(self, de):
+        txn = de.transaction("checkout")
+        with pytest.raises(SchemaError):
+            txn.create("knactor-checkout", "o1", {"cost": "free"})
+
+    def test_empty_and_double_commit_rejected(self, de, call):
+        txn = de.transaction("checkout")
+        with pytest.raises(ConfigurationError):
+            txn.commit()
+        txn.create("knactor-checkout", "o1", {"cost": 1})
+        call(txn.commit())
+        with pytest.raises(ConfigurationError):
+            txn.commit()
+
+    def test_failed_txn_leaves_no_partial_state(self, de, call):
+        shipping = de.handle("knactor-shipping", "shipping")
+        call(shipping.create("dup", {"internal": "x"}))
+        txn = de.transaction("cast")
+        txn.patch("knactor-checkout", "ghost", {"trackingID": "t"})  # missing
+        txn.create("knactor-shipping", "fresh", {"addr": "a"})
+        with pytest.raises(NotFoundError):
+            call(txn.commit())
+        with pytest.raises(NotFoundError):
+            call(shipping.get("fresh"))
+
+
+class TestTransactionalExecutor:
+    def build(self, env, zero_net, transactional):
+        from repro.core.dxg import DXGExecutor, parse_dxg
+        from repro.core.dxg.executor import ExecutorOptions
+
+        de = ObjectDE(env, ApiServer(env, zero_net, watch_overhead=0.0))
+        de.host_store("knactor-checkout", ORDER_SCHEMA, owner="checkout")
+        de.host_store("knactor-shipping", SHIPMENT_SCHEMA, owner="shipping")
+        de.grant_integrator("cast", "knactor-checkout")
+        de.grant_integrator("cast", "knactor-shipping")
+        dxg = (
+            "Input:\n"
+            "  C: App/v1/Checkout/knactor-checkout\n"
+            "  S: App/v1/Shipping/knactor-shipping\n"
+            "DXG:\n"
+            "  C:\n"
+            "    trackingID: S.internal\n"
+            "  S:\n"
+            "    addr: concat('addr-for-', C.cost)\n"
+        )
+        executor = DXGExecutor(
+            env, parse_dxg(dxg),
+            handles={"C": de.handle("knactor-checkout", "cast"),
+                     "S": de.handle("knactor-shipping", "cast")},
+            options=ExecutorOptions(transactional=transactional),
+        )
+        return de, executor
+
+    def test_transactional_matches_plain_results(self, env, zero_net, call):
+        final = {}
+        for transactional in (False, True):
+            de, executor = self.build(env, zero_net, transactional)
+            checkout = de.handle("knactor-checkout", "checkout")
+            call(checkout.create(f"o-{transactional}", {"cost": 42}))
+            call(executor.exchange(f"o-{transactional}"))
+            shipping = de.handle("knactor-shipping", "shipping")
+            final[transactional] = call(
+                shipping.get(f"o-{transactional}")
+            )["data"]
+        assert final[True] == final[False]
+
+    def test_one_commit_per_pass(self, env, zero_net, call):
+        de, executor = self.build(env, zero_net, transactional=True)
+        checkout = de.handle("knactor-checkout", "checkout")
+        call(checkout.create("o1", {"cost": 42}))
+        stats = call(executor.exchange("o1"))
+        assert stats.writes == 1  # the shipment create, one atomic commit
+        assert stats.creates == 1
+
+    def test_transactional_idempotent(self, env, zero_net, call):
+        de, executor = self.build(env, zero_net, transactional=True)
+        checkout = de.handle("knactor-checkout", "checkout")
+        call(checkout.create("o1", {"cost": 42}))
+        call(executor.exchange("o1"))
+        stats = call(executor.exchange("o1"))
+        assert stats.writes == 0

@@ -1,0 +1,69 @@
+"""Unit tests for dotted-path helpers."""
+
+import pytest
+
+from repro.util.paths import PathError, delete_path, get_path, set_path, walk_leaves
+
+
+class TestGetPath:
+    def test_simple(self):
+        assert get_path({"a": {"b": 3}}, "a.b") == 3
+
+    def test_list_index(self):
+        assert get_path({"a": [10, 20]}, "a.1") == 20
+
+    def test_missing_raises(self):
+        with pytest.raises(PathError):
+            get_path({"a": 1}, "a.b")
+
+    def test_missing_with_default(self):
+        assert get_path({"a": 1}, "b", default="dflt") == "dflt"
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(PathError):
+            get_path({}, "")
+
+    def test_list_path_accepted(self):
+        assert get_path({"a": {"b": 1}}, ["a", "b"]) == 1
+
+
+class TestSetPath:
+    def test_set_creates_intermediates(self):
+        obj = {}
+        set_path(obj, "a.b.c", 5)
+        assert obj == {"a": {"b": {"c": 5}}}
+
+    def test_set_without_create_raises(self):
+        with pytest.raises(PathError):
+            set_path({}, "a.b", 1, create=False)
+
+    def test_set_into_list(self):
+        obj = {"a": [0, 0]}
+        set_path(obj, "a.1", 9)
+        assert obj == {"a": [0, 9]}
+
+    def test_set_through_scalar_raises(self):
+        with pytest.raises(PathError):
+            set_path({"a": 3}, "a.b", 1)
+
+
+class TestDeletePath:
+    def test_delete_leaf(self):
+        obj = {"a": {"b": 1, "c": 2}}
+        delete_path(obj, "a.b")
+        assert obj == {"a": {"c": 2}}
+
+    def test_delete_missing_is_noop(self):
+        obj = {"a": 1}
+        delete_path(obj, "x.y")
+        assert obj == {"a": 1}
+
+
+class TestWalkLeaves:
+    def test_walks_nested(self):
+        obj = {"a": {"b": 1}, "c": [1, 2]}
+        leaves = dict(walk_leaves(obj))
+        assert leaves == {("a", "b"): 1, ("c",): [1, 2]}
+
+    def test_scalar_root(self):
+        assert list(walk_leaves(42)) == [((), 42)]

@@ -1,0 +1,157 @@
+"""Unit tests for the YAML-subset parser."""
+
+import pytest
+
+from repro.util import yamlish
+from repro.util.yamlish import YamlishError
+
+
+class TestScalars:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("key: 42", 42),
+            ("key: 4.5", 4.5),
+            ("key: true", True),
+            ("key: false", False),
+            ("key: null", None),
+            ("key: hello", "hello"),
+            ("key: 'quoted: string'", "quoted: string"),
+            ('key: "double"', "double"),
+            ("key: [1, 2, 3]", [1, 2, 3]),
+            ("key: []", []),
+            ("key: [a, 'b, c']", ["a", "b, c"]),
+        ],
+    )
+    def test_scalar_values(self, text, expected):
+        assert yamlish.parse(text) == {"key": expected}
+
+    def test_empty_document(self):
+        assert yamlish.parse("") == {}
+        assert yamlish.parse("\n# only a comment\n") == {}
+
+
+class TestMappings:
+    def test_nested_mapping(self):
+        doc = "a:\n  b: 1\n  c:\n    d: x\n"
+        assert yamlish.parse(doc) == {"a": {"b": 1, "c": {"d": "x"}}}
+
+    def test_empty_value_is_none(self):
+        assert yamlish.parse("a:\nb: 2") == {"a": None, "b": 2}
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(YamlishError):
+            yamlish.parse("a: 1\na: 2")
+
+    def test_tab_indentation_rejected(self):
+        with pytest.raises(YamlishError):
+            yamlish.parse("a:\n\tb: 1")
+
+    def test_unexpected_indent_rejected(self):
+        with pytest.raises(YamlishError):
+            yamlish.parse("a: 1\n    b: 2")
+
+    def test_colon_in_quoted_value(self):
+        assert yamlish.parse("a: 'x: y'") == {"a": "x: y"}
+
+
+class TestLists:
+    def test_block_list(self):
+        assert yamlish.parse("- 1\n- 2\n- three") == [1, 2, "three"]
+
+    def test_list_of_mappings(self):
+        doc = "- name: a\n  size: 1\n- name: b\n  size: 2\n"
+        assert yamlish.parse(doc) == [
+            {"name": "a", "size": 1},
+            {"name": "b", "size": 2},
+        ]
+
+    def test_mapping_with_list_value(self):
+        doc = "items:\n  - x\n  - y\n"
+        assert yamlish.parse(doc) == {"items": ["x", "y"]}
+
+
+class TestBlocks:
+    def test_folded_block_joins_with_spaces(self):
+        doc = "expr: >\n  line one\n  line two\n"
+        assert yamlish.parse(doc) == {"expr": "line one line two"}
+
+    def test_literal_block_keeps_newlines(self):
+        doc = "text: |\n  line one\n  line two\n"
+        assert yamlish.parse(doc) == {"text": "line one\nline two"}
+
+    def test_folded_block_ends_at_dedent(self):
+        doc = "expr: >\n  folded text\nnext: 1\n"
+        assert yamlish.parse(doc) == {"expr": "folded text", "next": 1}
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(YamlishError):
+            yamlish.parse("expr: >\nnext: 1")
+
+
+class TestComments:
+    def test_comments_stripped(self):
+        doc = "# header\na: 1  # trailing\n"
+        assert yamlish.parse(doc) == {"a": 1}
+
+    def test_hash_inside_quotes_not_a_comment(self):
+        assert yamlish.parse("a: 'x # y'") == {"a": "x # y"}
+
+    def test_annotations_reported_with_paths(self):
+        doc = "a: 1  # +kr: external\nb:\n  c: 2  # note\n"
+        data, annotations = yamlish.parse(doc, with_annotations=True)
+        assert data == {"a": 1, "b": {"c": 2}}
+        assert annotations == {("a",): "+kr: external", ("b", "c"): "note"}
+
+
+class TestPaperListings:
+    def test_fig5_checkout_schema_shape(self):
+        doc = """\
+schema: OnlineRetail/v1/Checkout/Order
+items: object
+address: string
+cost: number
+shippingCost: number # +kr: external
+totalCost: number
+currency: string
+paymentID: string # +kr: external
+trackingID: string # +kr: external
+"""
+        data, annotations = yamlish.parse(doc, with_annotations=True)
+        assert data["schema"] == "OnlineRetail/v1/Checkout/Order"
+        assert data["shippingCost"] == "number"
+        assert annotations[("paymentID",)] == "+kr: external"
+
+    def test_fig6_dxg_shape(self):
+        doc = """\
+Input:
+  C: OnlineRetail/v1/Checkout/knactor-checkout
+  S: OnlineRetail/v1/Shipping/knactor-shipping
+DXG:
+  C.order:
+    shippingCost: >
+      currency_convert(S.quote.price,
+      S.quote.currency, this.currency)
+    trackingID: S.id
+  S:
+    items: '[item.name for item in C.order.items]'
+    method: >
+      "air" if C.order.cost > 1000 else "ground"
+"""
+        data = yamlish.parse(doc)
+        assert data["Input"]["C"] == "OnlineRetail/v1/Checkout/knactor-checkout"
+        assert data["DXG"]["C.order"]["trackingID"] == "S.id"
+        assert "currency_convert(S.quote.price, S.quote.currency" in (
+            data["DXG"]["C.order"]["shippingCost"]
+        )
+        assert data["DXG"]["S"]["method"] == '"air" if C.order.cost > 1000 else "ground"'
+
+
+class TestDumps:
+    def test_roundtrip_nested(self):
+        data = {"a": {"b": 1, "c": [1, 2, "x"]}, "d": None, "e": True}
+        assert yamlish.parse(yamlish.dumps(data)) == data
+
+    def test_roundtrip_special_strings(self):
+        data = {"a": "needs: quoting", "b": "plain"}
+        assert yamlish.parse(yamlish.dumps(data)) == data
