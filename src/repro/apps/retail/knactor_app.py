@@ -90,12 +90,15 @@ class RetailKnactorApp:
 
     @classmethod
     def build(cls, env=None, profile=K_APISERVER, seed=7, with_notify=True,
-              dxg=None):
+              dxg=None, retry_policy=None):
         """Construct the full app under an optimization profile.
 
         ``dxg`` overrides the main integrator's spec (the Table 2 bench
         uses a Checkout x Shipping-only DXG, matching the paper's
-        measured configuration).
+        measured configuration).  ``retry_policy`` (a
+        :class:`repro.faults.RetryPolicy`) is shared by every store
+        client the exchange mints -- required for chaos runs, harmless
+        otherwise.
         """
         env = env if env is not None else Environment()
         network = Network(env, default_latency=config.NETWORK_HOP)
@@ -118,7 +121,7 @@ class RetailKnactorApp:
             )
         else:
             raise ConfigurationError(f"unknown backend {profile.backend!r}")
-        de = ObjectDE(env, backend)
+        de = ObjectDE(env, backend, retry_policy=retry_policy)
         runtime.add_exchange("object", de)
 
         for name, schema in ALL_SCHEMAS.items():

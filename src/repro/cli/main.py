@@ -24,6 +24,17 @@ def cmd_version(_args):
 
 def cmd_demo(args):
     if args.app == "retail":
+        if args.chaos:
+            # Chaos always runs on the apiserver backend: its WAL makes
+            # crash recovery lossless, which is the property the run
+            # asserts.  MemKV loses state on crash by design.
+            from repro.faults.chaos import describe_report, run_retail_chaos
+
+            report = run_retail_chaos(
+                seed=args.chaos_seed, orders=args.orders
+            )
+            print(describe_report(report))
+            return 0 if report["converged"] else 1
         from repro.apps.retail.knactor_app import RetailKnactorApp
         from repro.apps.retail.workload import OrderWorkload
         from repro.core.optimizer import PROFILES
@@ -172,6 +183,13 @@ def build_parser():
     demo.add_argument("--orders", type=int, default=3)
     demo.add_argument("--telemetry", action="store_true",
                       help="print a runtime snapshot and SLO report (retail)")
+    demo.add_argument("--chaos", action="store_true",
+                      help="run the retail app under a seeded fault schedule "
+                           "(store crash, partition, drop window) and report "
+                           "convergence")
+    demo.add_argument("--chaos-seed", type=int, default=0,
+                      help="seed for the fault schedule and workload "
+                           "(default 0)")
     demo.set_defaults(fn=cmd_demo)
 
     describe = sub.add_parser("describe", help="print runtime topology")

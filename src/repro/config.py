@@ -79,6 +79,18 @@ UDF_COST_PER_ASSIGNMENT = 4.5e-5
 #: RPC stack dispatch overhead (server-side, per call).
 RPC_DISPATCH_OVERHEAD = 0.0009
 
+# -- reconciler resilience defaults (see repro.core.reconciler) -----------
+#
+# Conflict/unavailable retries within one reconcile pass, the base backoff
+# between them, the +/- fraction of seeded jitter applied to each backoff
+# (desynchronizes retry storms under contention), and how many failed
+# passes a key gets before it is dead-lettered.
+
+RECONCILER_MAX_RETRIES = 5
+RECONCILER_BACKOFF = 0.005
+RECONCILER_BACKOFF_JITTER = 0.5
+RECONCILER_MAX_REQUEUES = 3
+
 
 def shipment_latency_model(seed=None):
     """The simulated FedEx-call service time distribution."""

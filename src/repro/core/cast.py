@@ -10,9 +10,18 @@ backend, Cast registers the whole exchange as a server-side function and
 issues a single ``fcall`` per change instead of N reads + M writes.
 """
 
+import random
+import zlib
 from collections import OrderedDict
 
-from repro.errors import AccessDeniedError, ConfigurationError, DXGError
+from repro.errors import (
+    AccessDeniedError,
+    ConfigurationError,
+    ConflictError,
+    DXGError,
+    UnavailableError,
+)
+from repro.faults.dlq import DeadLetterQueue
 from repro.core.dxg import DXGExecutor, analyze, parse_dxg, standard_functions
 from repro.core.dxg.executor import ExecutorOptions
 from repro.core.dxg.parser import DXGSpec, build_spec
@@ -25,6 +34,12 @@ class Cast(Integrator):
 
     #: Simulated integrator CPU time per assignment per exchange.
     compute_cost_per_assignment = 5e-6
+
+    #: Transient-failure policy: an exchange hitting an unavailable /
+    #: conflicting store is requeued with jittered backoff up to this
+    #: many times, then its cid is dead-lettered.
+    max_exchange_attempts = 5
+    requeue_backoff = 0.005
 
     def __init__(
         self,
@@ -65,9 +80,14 @@ class Cast(Integrator):
         self._seen_cids = set()
         self._udf_name = None
         self._udf_client = None
+        self._exchange_failures = {}  # cid -> consecutive transient failures
+        self._rng = random.Random(zlib.crc32(name.encode()))
+        self.dead_letters = DeadLetterQueue(name=name)
         self.exchanges_run = 0
         self.denied = 0
         self.errors = 0
+        self.unavailable_count = 0
+        self.kill_count = 0
 
     # -- configuration ------------------------------------------------------------
 
@@ -309,6 +329,14 @@ class Cast(Integrator):
                 reason=str(exc),
             )
             return
+        except (UnavailableError, ConflictError) as exc:
+            # Transient substrate failure (crashed/partitioned store,
+            # optimistic-concurrency race): requeue with backoff; after
+            # max_exchange_attempts the cid is parked in the DLQ so one
+            # unreachable group never wedges the worker pool.
+            self.unavailable_count += 1
+            self._retry_later(env, cid, exc)
+            return
         except DXGError as exc:
             # Value-level divergence (non-quiescence) on this cid: record
             # it and keep the integrator alive for other exchanges.
@@ -318,14 +346,74 @@ class Cast(Integrator):
                 reason=str(exc),
             )
             return
+        self._exchange_failures.pop(cid, None)
         self.exchanges_run += 1
         tracer.record("cast", "end", integrator=self.name, cid=cid)
+
+    def _retry_later(self, env, cid, exc):
+        count = self._exchange_failures.get(cid, 0) + 1
+        if count > self.max_exchange_attempts:
+            self._exchange_failures.pop(cid, None)
+            self.dead_letters.push(
+                cid, exc, attempts=count, time=env.now, source=self.name
+            )
+            self.runtime.tracer.record(
+                "cast", "dead-letter", integrator=self.name, cid=cid,
+                reason=str(exc),
+            )
+            return
+        self._exchange_failures[cid] = count
+        delay = (
+            min(0.5, self.requeue_backoff * (2 ** (count - 1)))
+            * self._rng.uniform(0.5, 1.5)
+        )
+        timer = env.timeout(delay)
+        timer.callbacks.append(lambda _evt, c=cid: self._requeue_cid(c))
+        self.runtime.tracer.record(
+            "cast", "retry-later", integrator=self.name, cid=cid,
+            attempt=count, delay=delay,
+        )
+
+    def _requeue_cid(self, cid):
+        if not self.started:
+            return
+        self._queue[cid] = True
+        self._kick()
+
+    # -- process faults (see repro.faults) ---------------------------------
+
+    def kill(self):
+        """Simulate a worker-process crash: queue and retry state vanish.
+
+        The watches are cancelled (connections die with the process); a
+        :meth:`restart` re-wires them and resyncs every known group, so
+        level-triggered re-evaluation recovers anything lost.
+        """
+        if not self.started:
+            return
+        self.kill_count += 1
+        self._queue.clear()
+        self._exchange_failures.clear()
+        self.stop()
+        self.runtime.tracer.record("cast", "killed", integrator=self.name)
+
+    def restart(self):
+        """Restart after :meth:`kill`: re-watch and resync seen groups."""
+        if self.started:
+            return
+        self.start()
+        for cid in sorted(self._seen_cids):
+            self._queue[cid] = True
+        self._kick()
+        self.runtime.tracer.record("cast", "restarted", integrator=self.name)
 
     def status(self):
         base = super().status()
         base.update(
             {
                 "exchanges_run": self.exchanges_run,
+                "dead_letters": len(self.dead_letters),
+                "unavailable": self.unavailable_count,
                 "pushdown": self.pushdown,
                 "assignments": len(self.executor.spec.assignments)
                 if self.executor

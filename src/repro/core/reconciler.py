@@ -8,16 +8,32 @@ to state updates from the data store and initiates corresponding actions."
 The loop is **level-triggered** with a per-key work queue, like Kubernetes
 controllers: watch events mark a key dirty; a single worker drains the
 queue, re-reading current state and calling ``reconcile``.  Conflicting
-writes (optimistic-concurrency failures) requeue the key with backoff.
+writes (optimistic-concurrency failures) retry with seeded-jitter
+exponential backoff; transient store unavailability is ridden out the
+same way.  A key whose reconcile keeps failing for non-transient reasons
+is *dead-lettered* after a bounded number of requeues
+(:mod:`repro.faults.dlq`) so one poison object never stalls the rest of
+the keyspace.  Defaults for the retry/requeue knobs live in
+:mod:`repro.config`.
 
 Crucially -- and this is the Knactor pattern -- a reconciler only ever
 touches *its own* store handles.  It has no client stubs, no topics, no
 knowledge of other services.
 """
 
+import random
+import zlib
 from collections import OrderedDict
 
-from repro.errors import ConfigurationError, ConflictError, NotFoundError
+from repro import config
+from repro.errors import (
+    ConfigurationError,
+    ConflictError,
+    NotFoundError,
+    ReproError,
+    UnavailableError,
+)
+from repro.faults.dlq import DeadLetterQueue
 
 
 class ReconcilerContext:
@@ -53,29 +69,54 @@ class ReconcilerContext:
 class Reconciler:
     """Base class: subclass and override :meth:`reconcile`.
 
-    Class attributes subclasses may tune:
+    Class attributes subclasses may tune (defaults from :mod:`repro.config`;
+    constructor keyword arguments override either):
 
     - ``service_time``: simulated local processing time per reconcile call
       (seconds of virtual time),
-    - ``max_retries`` / ``backoff``: conflict-retry policy,
+    - ``max_retries`` / ``backoff`` / ``backoff_jitter``: transient-retry
+      policy (conflicts and unavailability) within one reconcile pass,
+    - ``max_requeues``: failed passes a key gets before dead-lettering,
     - ``log_subscriptions``: local names of Log stores whose appended
       batches should be delivered to :meth:`on_log_batch`.
     """
 
     service_time = 0.0
-    max_retries = 5
-    backoff = 0.005
+    max_retries = config.RECONCILER_MAX_RETRIES
+    backoff = config.RECONCILER_BACKOFF
+    backoff_jitter = config.RECONCILER_BACKOFF_JITTER
+    max_requeues = config.RECONCILER_MAX_REQUEUES
     log_subscriptions = ()
 
-    def __init__(self, name=None):
+    def __init__(self, name=None, *, max_retries=None, backoff=None,
+                 backoff_jitter=None, max_requeues=None, dead_letters=None):
         self.name = name or type(self).__name__
+        if max_retries is not None:
+            self.max_retries = int(max_retries)
+        if backoff is not None:
+            self.backoff = float(backoff)
+        if backoff_jitter is not None:
+            self.backoff_jitter = float(backoff_jitter)
+        if max_requeues is not None:
+            self.max_requeues = int(max_requeues)
+        self.dead_letters = (
+            dead_letters if dead_letters is not None
+            else DeadLetterQueue(name=self.name)
+        )
         self.ctx = None
         self._queue = OrderedDict()  # key -> latest event type (dedup, FIFO)
         self._log_cursors = {}  # local_name -> next unseen _seq
         self._wakeup = None
         self._running = False
+        self._watch_handles = []
+        self._failures = {}  # key -> consecutive failed passes
+        # Seeded per-name: deterministic, yet different reconcilers get
+        # decorrelated backoff (no synchronized retry storms).
+        self._rng = random.Random(zlib.crc32(self.name.encode()))
         self.reconcile_count = 0
         self.error_count = 0
+        self.unavailable_count = 0
+        self.kill_count = 0
 
     # -- subclass surface -----------------------------------------------------
 
@@ -124,10 +165,10 @@ class Reconciler:
 
     def _watch_log(self, local_name):
         handle = self.ctx.stores[local_name]
-        handle.watch(
+        self._watch_handles.append(handle.watch(
             self._make_log_handler(local_name),
             on_close=lambda: self._on_log_watch_lost(local_name),
-        )
+        ))
 
     def _on_log_watch_lost(self, local_name):
         """Log failover: re-subscribe and replay from the seq cursor."""
@@ -139,7 +180,18 @@ class Reconciler:
 
     def _log_catch_up(self, env, local_name):
         handle = self.ctx.stores[local_name]
-        records = yield handle.query(since_seq=self._log_cursors[local_name])
+        records = None
+        for attempt in range(100):
+            if not self._running:
+                return
+            try:
+                records = yield handle.query(
+                    since_seq=self._log_cursors[local_name]
+                )
+                break
+            except UnavailableError:
+                self.unavailable_count += 1
+                yield env.timeout(self._backoff_delay(attempt))
         if not records:
             return
         self._advance_log_cursor(local_name, records)
@@ -155,7 +207,9 @@ class Reconciler:
     def _watch_default(self):
         default = self.ctx.stores.get("default")
         if default is not None:
-            default.watch(self._on_event, on_close=self._on_watch_lost)
+            self._watch_handles.append(
+                default.watch(self._on_event, on_close=self._on_watch_lost)
+            )
 
     def _on_watch_lost(self):
         """Store failover: re-watch and resync (informer re-list)."""
@@ -166,10 +220,27 @@ class Reconciler:
         self.ctx.env.process(self._resync(self.ctx.env))
 
     def _resync(self, env):
+        """Re-list the default store, riding out transient unavailability.
+
+        The re-list itself goes through the (possibly still faulty)
+        network, so it retries with capped backoff until the store
+        answers or the reconciler stops.
+        """
         default = self.ctx.stores.get("default")
         if default is None:
             return
-        views = yield default.list()
+        views = None
+        for attempt in range(100):
+            if not self._running:
+                return
+            try:
+                views = yield default.list()
+                break
+            except (UnavailableError, ConflictError):
+                self.unavailable_count += 1
+                yield env.timeout(self._backoff_delay(attempt))
+        if views is None:
+            return
         for view in views:
             self._queue.setdefault(view["key"], "RESYNC")
         self._kick()
@@ -177,6 +248,56 @@ class Reconciler:
     def stop(self):
         self._running = False
         self._kick()
+
+    # -- process faults (see repro.faults) ----------------------------------
+
+    def kill(self):
+        """Simulate a process crash: connections die, queue state is lost.
+
+        Unlike :meth:`stop`, a kill is expected to be followed by
+        :meth:`restart` (e.g. by a supervisor), which resyncs from the
+        store -- the level-triggered design makes the lost queue safe.
+        """
+        if not self._running:
+            return
+        self._running = False
+        self.kill_count += 1
+        for watch in self._watch_handles:
+            watch.cancel()
+        self._watch_handles = []
+        self._queue.clear()
+        self._failures.clear()
+        self._kick()
+        if self.ctx is not None:
+            self.ctx.trace("killed")
+
+    def restart(self):
+        """Restart after :meth:`kill`: re-watch, resync, catch up logs."""
+        if self._running:
+            return
+        if self.ctx is None:
+            raise ConfigurationError(
+                f"reconciler {self.name!r} is not attached"
+            )
+        self._running = True
+        env = self.ctx.env
+        self._watch_default()
+        for local_name in self.log_subscriptions:
+            self._log_cursors.setdefault(local_name, 0)
+            self._watch_log(local_name)
+        self._worker = env.process(self._work_loop(env))
+        env.process(self._resync(env))
+        for local_name in self.log_subscriptions:
+            env.process(self._log_catch_up(env, local_name))
+        self.ctx.trace("restarted")
+
+    def health(self):
+        """Readiness summary surfaced through telemetry."""
+        if not self._running:
+            return "stopped"
+        if len(self.dead_letters) > 0:
+            return "degraded"
+        return "ready"
 
     def _run_setup(self, env):
         result = self.setup(self.ctx)
@@ -222,8 +343,22 @@ class Reconciler:
             key, _event_type = self._queue.popitem(last=False)
             yield env.process(self._reconcile_once(env, key))
 
+    def _backoff_delay(self, attempt):
+        """Capped exponential backoff with seeded jitter.
+
+        Jitter matters under contention: several reconcilers conflicting
+        on one object with identical fixed backoff retry in lockstep and
+        collide again (a synchronized retry storm).
+        """
+        base = min(1.0, self.backoff * (2 ** min(attempt, 8)))
+        if self.backoff_jitter <= 0:
+            return base
+        spread = min(self.backoff_jitter, 1.0)
+        return base * self._rng.uniform(1.0 - spread, 1.0 + spread)
+
     def _reconcile_once(self, env, key):
         started = env.now
+        transient = None
         for attempt in range(self.max_retries + 1):
             try:
                 obj = None
@@ -240,6 +375,7 @@ class Reconciler:
                 if hasattr(result, "send"):
                     yield env.process(result)
                 self.reconcile_count += 1
+                self._failures.pop(key, None)
                 self.ctx.trace(
                     "reconciled", key=key, duration=env.now - started,
                     attempts=attempt + 1,
@@ -247,6 +383,39 @@ class Reconciler:
                 return
             except ConflictError:
                 self.error_count += 1
-                yield env.timeout(self.backoff * (2**attempt))
-        # Retries exhausted: requeue at the back and move on.
-        self._queue.setdefault(key, "RETRY")
+                transient = "conflict"
+                yield env.timeout(self._backoff_delay(attempt))
+            except UnavailableError:
+                self.unavailable_count += 1
+                transient = "unavailable"
+                yield env.timeout(self._backoff_delay(attempt))
+            except ReproError as exc:
+                # Non-transient failure: this key is poison for the
+                # current reconcile logic.  Park or requeue, never crash
+                # the work loop.
+                self.error_count += 1
+                self._record_failure(env, key, exc)
+                return
+        # Transient retries exhausted.  Unavailability is the store's
+        # fault, not the key's: requeue without counting it against the
+        # key (a long outage must not dead-letter the whole keyspace).
+        if transient == "unavailable":
+            self._queue.setdefault(key, "RETRY")
+        else:
+            self._record_failure(
+                env, key,
+                ConflictError(f"{key}: conflict retries exhausted"),
+            )
+
+    def _record_failure(self, env, key, exc):
+        """Bounded requeue; after ``max_requeues`` failed passes, DLQ."""
+        count = self._failures.get(key, 0) + 1
+        if count > self.max_requeues:
+            self._failures.pop(key, None)
+            self.dead_letters.push(
+                key, exc, attempts=count, time=env.now, source=self.name
+            )
+            self.ctx.trace("dead-letter", key=key, error=str(exc))
+        else:
+            self._failures[key] = count
+            self._queue.setdefault(key, "RETRY")

@@ -34,6 +34,32 @@ class AlreadyExistsError(StoreError):
     """Create was attempted for a key that already exists."""
 
 
+class UnavailableError(StoreError):
+    """The component is temporarily down/unreachable; safe to retry.
+
+    Raised for crashed or failing-over stores, partitioned links, and
+    aborted in-flight operations.  ``retryable`` marks it for the
+    resilience layer (:mod:`repro.faults.retry`).
+    """
+
+    retryable = True
+
+
+class CircuitOpenError(UnavailableError):
+    """A circuit breaker rejected the call without issuing it."""
+
+
+class DeadlineExceededError(ReproError):
+    """A client-side timeout elapsed before the operation completed.
+
+    Retryable: the attempt may have been lost to a fault.  Note the
+    abandoned attempt can still complete server-side (at-least-once
+    semantics); idempotent operations are safe to retry.
+    """
+
+    retryable = True
+
+
 class AccessDeniedError(ReproError):
     """An access-control policy rejected the operation."""
 

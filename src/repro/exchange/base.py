@@ -46,10 +46,14 @@ class DataExchange:
     #: Verbs handed to a store owner.
     OWNER_VERBS = ALL_VERBS
 
-    def __init__(self, env, backend, name="de"):
+    def __init__(self, env, backend, name="de", retry_policy=None):
         self.env = env
         self.backend = backend
         self.name = name
+        #: Optional :class:`repro.faults.RetryPolicy` shared by every
+        #: client this DE mints -- one knob makes the whole exchange
+        #: ride through transient backend faults.
+        self.retry_policy = retry_policy
         self.schemas = SchemaRegistry()
         self.audit = AuditLog()
         self.acl = AccessController(audit=self.audit)

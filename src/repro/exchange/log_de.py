@@ -56,7 +56,8 @@ class LogDE(DataExchange):
     def handle(self, store_name, principal, location=None):
         hosted = self.store(store_name)
         client = LogLakeClient(
-            self.backend, location if location is not None else principal
+            self.backend, location if location is not None else principal,
+            retry_policy=self.retry_policy,
         )
         return LogStoreHandle(self, hosted, principal, client)
 

@@ -27,18 +27,20 @@ from repro.util.paths import delete_path, get_path, walk_leaves
 class ObjectDE(DataExchange):
     """Object exchange over an apiserver-like or Redis-like backend."""
 
-    def __init__(self, env, backend, name="object-de"):
+    def __init__(self, env, backend, name="object-de", retry_policy=None):
         if not isinstance(backend, (ApiServer, MemKV)):
             raise ConfigurationError(
                 f"ObjectDE needs an ApiServer or MemKV backend, "
                 f"got {type(backend).__name__}"
             )
-        super().__init__(env, backend, name)
+        super().__init__(env, backend, name, retry_policy=retry_policy)
 
     def _client(self, location):
         if isinstance(self.backend, ApiServer):
-            return ApiServerClient(self.backend, location)
-        return MemKVClient(self.backend, location)
+            return ApiServerClient(self.backend, location,
+                                   retry_policy=self.retry_policy)
+        return MemKVClient(self.backend, location,
+                           retry_policy=self.retry_policy)
 
     def grant_integrator(self, principal, store_name, note=""):
         """Read + patch, writes scoped to the ``+kr: external`` fields."""

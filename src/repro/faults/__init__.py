@@ -1,0 +1,34 @@
+"""Deterministic fault injection and the resilience layer over it.
+
+Two halves, by design in one package:
+
+- *Injection* (:class:`FaultPlan`, :class:`FaultInjector`): seedable
+  schedules of link faults (partition / drop window / latency spike),
+  store faults (crash + restart, transient unavailability), and process
+  faults (kill / restart a reconciler or Cast worker), executed as
+  discrete events so every chaos run is exactly reproducible.
+- *Resilience* (:class:`RetryPolicy`, :class:`CircuitBreaker`,
+  :class:`DeadLetterQueue`): what the composition substrate does about
+  it -- seeded-jitter retries with timeouts/deadlines/budgets, fast-fail
+  circuit breaking, and dead-lettering for poison work items.
+
+The chaos harness that drives the retail app through a fault schedule
+lives in :mod:`repro.faults.chaos` (imported lazily: it pulls in the
+application stack).
+"""
+
+from repro.faults.dlq import DeadLetter, DeadLetterQueue
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultAction, FaultPlan
+from repro.faults.retry import CircuitBreaker, RetryPolicy, default_retryable
+
+__all__ = [
+    "CircuitBreaker",
+    "DeadLetter",
+    "DeadLetterQueue",
+    "FaultAction",
+    "FaultInjector",
+    "FaultPlan",
+    "RetryPolicy",
+    "default_retryable",
+]

@@ -14,7 +14,12 @@ from repro.metrics.costmodel import CompositionTask, TaskComparison
 from repro.metrics.latency import StageBreakdown, summarize
 from repro.metrics.report import Table, format_seconds
 from repro.metrics.sloc import Artifact, count_sloc
-from repro.metrics.telemetry import SLOMonitor, exchange_durations, runtime_snapshot
+from repro.metrics.telemetry import (
+    SLOMonitor,
+    exchange_durations,
+    resilience_snapshot,
+    runtime_snapshot,
+)
 
 __all__ = [
     "Artifact",
@@ -26,6 +31,7 @@ __all__ = [
     "count_sloc",
     "exchange_durations",
     "format_seconds",
+    "resilience_snapshot",
     "runtime_snapshot",
     "summarize",
 ]

@@ -6,6 +6,9 @@ are also worth exploring."  This module provides the telemetry layer:
 
 - :func:`runtime_snapshot` -- a point-in-time health view of every
   knactor, integrator, store, and the audit trail,
+- :func:`resilience_snapshot` -- the failure-domain counters (retries,
+  open circuits, dead letters, store availability) the chaos tooling
+  asserts on,
 - :func:`exchange_durations` -- per-exchange latency series extracted
   from the trace stream (the distributed-tracing view of an integrator),
 - :class:`SLOMonitor` -- declare a latency objective over a traced span
@@ -30,17 +33,75 @@ def runtime_snapshot(runtime):
                 reconciles=reconciler.reconcile_count,
                 conflicts=reconciler.error_count,
                 queue_depth=len(reconciler._queue),
+                health=reconciler.health(),
+                dead_letters=len(reconciler.dead_letters),
+                unavailable=reconciler.unavailable_count,
             )
         snapshot["knactors"][name] = entry
     for name, integrator in runtime.integrators.items():
         snapshot["integrators"][name] = integrator.status()
     for name, de in runtime.exchanges.items():
-        snapshot["exchanges"][name] = {
+        entry = {
             "stores": de.stores(),
             "backend_ops": dict(de.backend.op_counts),
             "audited_accesses": len(de.audit),
             "denials": len(de.audit.denials()),
+            "backend_available": de.backend.available,
+            "backend_aborted_ops": de.backend.aborted_ops,
+            "backend_crashes": de.backend.crash_count,
         }
+        if de.retry_policy is not None:
+            entry["retry"] = de.retry_policy.stats()
+        snapshot["exchanges"][name] = entry
+    return snapshot
+
+
+def resilience_snapshot(runtime, breakers=()):
+    """The failure-domain view: retry/circuit/DLQ/availability counters.
+
+    ``breakers`` is an optional iterable of
+    :class:`repro.faults.CircuitBreaker` instances to include (breakers
+    are client-side objects the runtime does not know about).
+    """
+    snapshot = {
+        "time": runtime.env.now,
+        "reconcilers": {},
+        "integrators": {},
+        "stores": {},
+        "retries": {},
+        "circuits": {},
+    }
+    for name, knactor in runtime.knactors.items():
+        reconciler = knactor.reconciler
+        if reconciler is None:
+            continue
+        snapshot["reconcilers"][name] = {
+            "health": reconciler.health(),
+            "dead_letters": len(reconciler.dead_letters),
+            "dead_letter_keys": reconciler.dead_letters.keys(),
+            "unavailable": reconciler.unavailable_count,
+            "kills": reconciler.kill_count,
+        }
+    for name, integrator in runtime.integrators.items():
+        entry = {"started": integrator.started}
+        dlq = getattr(integrator, "dead_letters", None)
+        if dlq is not None:
+            entry["dead_letters"] = len(dlq)
+            entry["dead_letter_keys"] = dlq.keys()
+        if hasattr(integrator, "unavailable_count"):
+            entry["unavailable"] = integrator.unavailable_count
+            entry["kills"] = integrator.kill_count
+        snapshot["integrators"][name] = entry
+    for name, de in runtime.exchanges.items():
+        snapshot["stores"][de.backend.location] = {
+            "available": de.backend.available,
+            "aborted_ops": de.backend.aborted_ops,
+            "crashes": de.backend.crash_count,
+        }
+        if de.retry_policy is not None:
+            snapshot["retries"][name] = de.retry_policy.stats()
+    for breaker in breakers:
+        snapshot["circuits"][breaker.name or repr(breaker)] = breaker.stats()
     return snapshot
 
 

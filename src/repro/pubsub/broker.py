@@ -61,6 +61,7 @@ class Broker:
         self._retained = {}
         self.published = 0
         self.delivered = 0
+        self.dropped = 0
 
     def subscribe(self, pattern, handler, location):
         """Register a subscriber; retained messages replay immediately."""
@@ -96,10 +97,18 @@ class Broker:
                 self._deliver(subscription, topic, payload)
 
     def _deliver(self, subscription, topic, payload):
+        """Fire-and-forget delivery (QoS 0): a faulted link loses the
+        message, and the broker only counts the drop -- exactly the
+        at-most-once gap the data-centric substrate closes with
+        replayable watch history."""
         link = self.network.link(self.location, subscription.location)
+        arrival = link.send(lambda msg: subscription.handler(*msg),
+                            (topic, payload))
+        if arrival is None:
+            self.dropped += 1
+            return
         subscription.delivered += 1
         self.delivered += 1
-        link.send(lambda msg: subscription.handler(*msg), (topic, payload))
 
     def subscriptions_for(self, topic):
         return [

@@ -30,6 +30,11 @@ INVALID_ARGUMENT = "INVALID_ARGUMENT"
 UNIMPLEMENTED = "UNIMPLEMENTED"
 INTERNAL = "INTERNAL"
 DEADLINE_EXCEEDED = "DEADLINE_EXCEEDED"
+UNAVAILABLE = "UNAVAILABLE"
+
+#: Status codes the resilience layer treats as transient
+#: (see :func:`repro.faults.retry.default_retryable`).
+RETRYABLE_CODES = (UNAVAILABLE, DEADLINE_EXCEEDED)
 
 
 @dataclass
@@ -54,6 +59,12 @@ class RPCServer:
         self.location = location
         self._methods = {}
         self.calls_served = 0
+        self.available = True
+        self.rejected_while_down = 0
+
+    def set_available(self, available):
+        """Transient outage window: calls fail fast with ``UNAVAILABLE``."""
+        self.available = bool(available)
 
     def register(self, service, method, handler, idl=None):
         """Register ``handler`` for ``service/method``.
@@ -81,6 +92,10 @@ class RPCServer:
         return self.env.process(self._dispatch(service, method, payload))
 
     def _dispatch(self, service, method, payload):
+        if not self.available:
+            self.rejected_while_down += 1
+            yield self.env.timeout(self.dispatch_overhead)
+            return (UNAVAILABLE, f"server at {self.location!r} is down")
         registration = self._methods.get((service, method))
         if registration is None:
             yield self.env.timeout(self.dispatch_overhead)
@@ -114,13 +129,23 @@ class RPCServer:
 
 
 class RPCChannel:
-    """A client connection from one location to one server."""
+    """A client connection from one location to one server.
 
-    def __init__(self, env, server, client_location, default_deadline=None):
+    With a :class:`repro.faults.RetryPolicy` (and optionally a
+    :class:`repro.faults.CircuitBreaker`) attached, calls that fail with
+    a retryable status -- ``UNAVAILABLE``, ``DEADLINE_EXCEEDED``, or a
+    partitioned link -- are re-issued with seeded-jitter backoff, the
+    same degradation contract the store clients get.
+    """
+
+    def __init__(self, env, server, client_location, default_deadline=None,
+                 retry_policy=None, circuit_breaker=None):
         self.env = env
         self.server = server
         self.client_location = client_location
         self.default_deadline = default_deadline
+        self.retry_policy = retry_policy
+        self.circuit_breaker = circuit_breaker
         self.calls_made = 0
 
     def call(self, service, method, payload=None, deadline=None):
@@ -129,8 +154,21 @@ class RPCChannel:
         Raises :class:`RPCStatusError` for non-OK statuses (including
         DEADLINE_EXCEEDED when the deadline elapses first).
         """
-        return self.env.process(
-            self._call(service, method, payload or {}, deadline)
+        if self.retry_policy is None and self.circuit_breaker is None:
+            return self.env.process(
+                self._call(service, method, payload or {}, deadline)
+            )
+        from repro.faults.retry import RetryPolicy
+
+        policy = self.retry_policy
+        if policy is None:  # breaker-only channel: gate but never retry
+            policy = self.retry_policy = RetryPolicy(max_attempts=1)
+        return policy.execute(
+            self.env,
+            lambda: self.env.process(
+                self._call(service, method, payload or {}, deadline)
+            ),
+            breaker=self.circuit_breaker,
         )
 
     def _call(self, service, method, payload, deadline):

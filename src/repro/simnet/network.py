@@ -6,12 +6,21 @@ The substrates (stores, RPC channels, brokers) communicate over
 fulfilling an event) after that delay.  FIFO links additionally guarantee
 per-link ordering even when sampled latencies would reorder messages, which
 matches TCP-like transports.
+
+Fault model (:mod:`repro.faults`): a :class:`Network` carries per-pair
+fault rules -- partitions, probabilistic drop windows, latency spikes --
+that links consult on every delivery.  One-way ``send`` deliveries are
+silently lost (datagram semantics; reliable streams layered on top, like
+store watches, detect the break and resync).  Round-trip ``transfer``
+events *fail* with a retryable
+:class:`~repro.errors.UnavailableError` (connection-reset semantics), so
+client code can retry through :class:`repro.faults.RetryPolicy`.
 """
 
 import math
 import random
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, UnavailableError
 
 
 class LatencyModel:
@@ -115,19 +124,42 @@ class LogNormalLatency(LatencyModel):
 
 
 class Link:
-    """One-way message pipe with latency and optional FIFO ordering."""
+    """One-way message pipe with latency and optional FIFO ordering.
 
-    def __init__(self, env, latency=None, fifo=True, name=""):
+    Links created through a :class:`Network` know their endpoints and
+    consult the network's fault rules on every delivery.
+    """
+
+    def __init__(self, env, latency=None, fifo=True, name="",
+                 network=None, src=None, dst=None):
         self.env = env
         self.latency = latency if latency is not None else FixedLatency(0.0)
         self.fifo = fifo
         self.name = name
+        self.network = network
+        self.src = src
+        self.dst = dst
         self._last_delivery = -math.inf
         self.delivered = 0
+        self.dropped = 0
+
+    def _fault_verdict(self):
+        """``(lost, extra_delay)`` from the owning network's fault rules."""
+        if self.network is None or self.src is None:
+            return False, 0.0
+        return self.network.fault_verdict(self.src, self.dst)
 
     def send(self, handler, message):
-        """Deliver ``message`` to ``handler(message)`` after sampled latency."""
-        delay = self.latency.sample()
+        """Deliver ``message`` to ``handler(message)`` after sampled latency.
+
+        Returns the arrival time, or ``None`` when a fault rule dropped
+        the message (the handler never runs).
+        """
+        lost, extra = self._fault_verdict()
+        if lost:
+            self.dropped += 1
+            return None
+        delay = self.latency.sample() + extra
         if self.fifo:
             # Never deliver before a previously sent message on this link.
             arrival = max(self.env.now + delay, self._last_delivery)
@@ -149,8 +181,21 @@ class Link:
         """Event that fires with ``value`` after sampled latency.
 
         Convenience for process code: ``result = yield link.transfer(x)``.
+        Under an active fault rule the event *fails* with
+        :class:`~repro.errors.UnavailableError` after the sampled delay
+        (connection reset), so the yielding process sees a retryable
+        exception rather than hanging forever.
         """
-        delay = self.latency.sample()
+        lost, extra = self._fault_verdict()
+        delay = self.latency.sample() + extra
+        if lost:
+            self.dropped += 1
+            failed = self.env.timeout(delay)
+            failed._ok = False
+            failed._value = UnavailableError(
+                f"link {self.name or '?'} is unreachable"
+            )
+            return failed
         if self.fifo:
             arrival = max(self.env.now + delay, self._last_delivery)
             self._last_delivery = arrival
@@ -176,6 +221,12 @@ class Network:
         )
         self._links = {}
         self._overrides = {}
+        # Fault rules (managed by repro.faults.FaultInjector, or directly).
+        # Pairs may use "*" as a wildcard endpoint.
+        self._partitions = set()  # {(src, dst)} currently severed
+        self._drop_rules = {}  # (src, dst) -> (rate, random.Random)
+        self._latency_spikes = {}  # (src, dst) -> extra seconds
+        self.messages_lost = 0
 
     def set_latency(self, src, dst, latency, symmetric=True):
         """Override the latency model for ``src -> dst`` (and back)."""
@@ -192,9 +243,87 @@ class Network:
         key = (src, dst)
         if key not in self._links:
             latency = self._overrides.get(key, self.default_latency)
-            self._links[key] = Link(self.env, latency, name=f"{src}->{dst}")
+            self._links[key] = Link(
+                self.env, latency, name=f"{src}->{dst}",
+                network=self, src=src, dst=dst,
+            )
         return self._links[key]
 
     def transfer(self, src, dst, value=None):
         """Event firing with ``value`` after the ``src -> dst`` latency."""
         return self.link(src, dst).transfer(value)
+
+    # -- fault rules (see repro.faults) -----------------------------------
+
+    @staticmethod
+    def _pairs(src, dst, symmetric):
+        return [(src, dst), (dst, src)] if symmetric else [(src, dst)]
+
+    def _matching(self, rules, src, dst):
+        """First rule key covering ``src -> dst`` (with ``"*"`` wildcards).
+
+        ``rules`` may be any container supporting ``in`` (set or dict).
+        """
+        for key in ((src, dst), (src, "*"), ("*", dst), ("*", "*")):
+            if key in rules:
+                return key
+        return None
+
+    def partition(self, src, dst, symmetric=True):
+        """Sever ``src -> dst`` (and back): every message is lost."""
+        self._partitions.update(self._pairs(src, dst, symmetric))
+
+    def heal(self, src, dst, symmetric=True):
+        """Remove a partition installed by :meth:`partition`."""
+        self._partitions.difference_update(self._pairs(src, dst, symmetric))
+
+    def is_partitioned(self, src, dst):
+        return self._matching(self._partitions, src, dst) is not None
+
+    def set_drop_rate(self, src, dst, rate, seed=0, symmetric=True):
+        """Lose a seeded-random fraction of messages on ``src -> dst``."""
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(f"drop rate {rate} not in [0, 1]")
+        rng = random.Random(seed)
+        for pair in self._pairs(src, dst, symmetric):
+            self._drop_rules[pair] = (rate, rng)
+
+    def clear_drop_rate(self, src, dst, symmetric=True):
+        for pair in self._pairs(src, dst, symmetric):
+            self._drop_rules.pop(pair, None)
+
+    def set_extra_latency(self, src, dst, extra, symmetric=True):
+        """Add ``extra`` seconds to every delivery on ``src -> dst``."""
+        if extra < 0:
+            raise ConfigurationError(f"negative extra latency {extra}")
+        for pair in self._pairs(src, dst, symmetric):
+            self._latency_spikes[pair] = float(extra)
+
+    def clear_extra_latency(self, src, dst, symmetric=True):
+        for pair in self._pairs(src, dst, symmetric):
+            self._latency_spikes.pop(pair, None)
+
+    def heal_all(self):
+        """Drop every fault rule (end of a chaos experiment)."""
+        self._partitions.clear()
+        self._drop_rules.clear()
+        self._latency_spikes.clear()
+
+    def fault_verdict(self, src, dst):
+        """``(lost, extra_delay)`` for one delivery on ``src -> dst``.
+
+        Consumes one sample from the drop rule's RNG when one applies,
+        so verdicts are deterministic given the event schedule.
+        """
+        if self.is_partitioned(src, dst):
+            self.messages_lost += 1
+            return True, 0.0
+        rule_key = self._matching(self._drop_rules, src, dst)
+        if rule_key is not None:
+            rate, rng = self._drop_rules[rule_key]
+            if rng.random() < rate:
+                self.messages_lost += 1
+                return True, 0.0
+        spike_key = self._matching(self._latency_spikes, src, dst)
+        extra = self._latency_spikes[spike_key] if spike_key is not None else 0.0
+        return False, extra

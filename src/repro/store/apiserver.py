@@ -17,10 +17,23 @@ Semantics reproduced from the real apiserver:
 
 The CRUD/transaction semantics live in
 :class:`repro.store.objectops.ObjectOpsMixin`, shared with the Redis-like
-backend; this class adds the persistence latency model and watch history.
+backend; this class adds the persistence latency model, watch history,
+and crash durability: every commit is appended to a write-ahead log (the
+etcd raft log stand-in), and a :meth:`~repro.store.base.StoreServer.crash`
+/ ``restart`` cycle loses the in-memory object map but rebuilds it --
+objects, revisions, and the replayable watch history -- from the WAL.
 """
 
-from repro.store.base import OpLatency, StoreClient, StoreServer
+import copy
+from dataclasses import dataclass
+
+from repro.store.base import (
+    DELETED,
+    OpLatency,
+    StoreClient,
+    StoredObject,
+    StoreServer,
+)
 from repro.store.objectops import ObjectOpsMixin, merge_patch  # noqa: F401
 
 #: Default per-op server-side latencies (seconds): writes pay an
@@ -37,8 +50,17 @@ DEFAULT_OPS = {
 }
 
 
+@dataclass(frozen=True)
+class _WalRecord:
+    """One durable commit: enough to rebuild the object map on restart."""
+
+    time: float
+    event: object  # the committed WatchEvent
+    labels: dict
+
+
 class ApiServer(ObjectOpsMixin, StoreServer):
-    """The server side: owns objects, history, and watch fan-out."""
+    """The server side: owns objects, history, WAL, and watch fan-out."""
 
     OPS = dict(DEFAULT_OPS)
 
@@ -59,24 +81,93 @@ class ApiServer(ObjectOpsMixin, StoreServer):
         self._objects = {}
         self._history = []  # bounded list of WatchEvents for replay
         self._history_limit = history_limit
+        self._wal = []  # unbounded durable commit log ("disk")
+        self._pending_replays = []  # (watch, from_revision) queued while down
         self.watch_overhead = watch_overhead
 
     def _record_commit(self, event):
+        labels = {}
+        obj = self._objects.get(event.key)
+        if obj is not None:
+            labels = dict(obj.labels)
+        self._wal.append(_WalRecord(self.env.now, event, labels))
         self._history.append(event)
         if len(self._history) > self._history_limit:
             del self._history[: len(self._history) - self._history_limit]
 
     def replay(self, watch, from_revision):
-        """Deliver historical events (> from_revision) to a new watcher."""
+        """Deliver historical events (> from_revision) to a new watcher.
+
+        While the server is down, replays queue and run on restart (the
+        client keeps reconnecting until the server answers).  A replay
+        delivery lost to a link fault breaks the watch stream -- the
+        watcher re-watches from its cursor, so nothing is skipped.
+        """
+        if not self.available:
+            self._pending_replays.append((watch, from_revision))
+            return
+        self._deliver_replay(watch, from_revision)
+
+    def _deliver_replay(self, watch, from_revision):
         for event in self._history:
             if event.revision > from_revision and watch.matches(event.key):
                 link = self.network.link(self.location, watch.location)
+                if link.send(watch.handler, event) is None:
+                    watch.break_connection(self.watch_keepalive)
+                    return
                 watch.delivered += 1
-                link.send(watch.handler, event)
+
+    def set_available(self, available):
+        super().set_available(available)
+        if self.available:
+            # A brown-out ended: watchers that asked for replay while we
+            # were down are still waiting.
+            self._flush_pending_replays()
+
+    def _flush_pending_replays(self):
+        pending, self._pending_replays = self._pending_replays, []
+        for watch, from_revision in pending:
+            if watch.active:
+                self._deliver_replay(watch, from_revision)
 
     @property
     def oldest_replayable(self):
         return self._history[0].revision if self._history else None
+
+    @property
+    def wal_length(self):
+        return len(self._wal)
+
+    # -- crash durability ---------------------------------------------------
+
+    def _on_crash(self):
+        """Memory is lost; the WAL (and queued replays) survive on disk."""
+        self._objects = {}
+        self._history = []
+        self.revision = 0
+
+    def _on_restart(self):
+        """Rebuild objects, revision counter, and watch history from WAL."""
+        created_at = {}
+        for record in self._wal:
+            event = record.event
+            if event.type == DELETED:
+                self._objects.pop(event.key, None)
+                created_at.pop(event.key, None)
+            else:
+                created_at.setdefault(event.key, record.time)
+                self._objects[event.key] = StoredObject(
+                    key=event.key,
+                    data=copy.deepcopy(event.object),
+                    revision=event.revision,
+                    created_at=created_at[event.key],
+                    updated_at=record.time,
+                    labels=dict(record.labels),
+                )
+            self.revision = max(self.revision, event.revision)
+        tail = [r.event for r in self._wal]
+        self._history = tail[-self._history_limit:]
+        self._flush_pending_replays()
 
 
 class ApiServerClient(StoreClient):

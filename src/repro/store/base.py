@@ -20,7 +20,8 @@ server's location; co-located callers pay nothing.
 import copy
 from dataclasses import dataclass, field
 
-from repro.errors import StoreError
+from repro.errors import StoreError, UnavailableError
+from repro.simnet.events import Interrupt
 from repro.simnet.queue import Resource
 
 #: Watch event types (mirroring the Kubernetes watch protocol).
@@ -125,15 +126,38 @@ class Watch:
             self._server._watches.remove(self)
 
     def close(self):
-        """Server-initiated termination (failover): notify the client."""
+        """Server-initiated termination (failover): notify the client.
+
+        The notification travels over the server->client link; when that
+        link is faulted (partition/drop window) the client instead
+        detects the dead connection via its own keepalive timer.
+        """
+        if not self.active:
+            return
+        link = self._server.network.link(self._server.location, self.location)
+        self.cancel()
+        if self.on_close is not None:
+            if link.send(lambda _msg: self.on_close(), None) is None:
+                self._detect_break(self._server.watch_keepalive)
+
+    def break_connection(self, detect_after=0.0):
+        """The delivery stream broke (partition, crash, dropped event).
+
+        The server cannot reach the client, so ``on_close`` fires from the
+        client's *own* keepalive timer after ``detect_after`` seconds of
+        virtual time -- no network delivery involved.  Watchers then
+        re-watch and resync exactly as after a failover.
+        """
         if not self.active:
             return
         self.cancel()
-        if self.on_close is not None:
-            link = self._server.network.link(
-                self._server.location, self.location
-            )
-            link.send(lambda _msg: self.on_close(), None)
+        self._detect_break(detect_after)
+
+    def _detect_break(self, detect_after):
+        if self.on_close is None:
+            return
+        timer = self._server.env.timeout(detect_after)
+        timer.callbacks.append(lambda _evt: self.on_close())
 
 
 class StoreServer:
@@ -147,6 +171,10 @@ class StoreServer:
 
     OPS = {}
 
+    #: How long a client's keepalive takes to detect a dead watch stream
+    #: (seconds of virtual time) when the server cannot say goodbye.
+    watch_keepalive = 0.02
+
     def __init__(self, env, network, location, workers=1, tracer=None):
         self.env = env
         self.network = network
@@ -159,6 +187,14 @@ class StoreServer:
         self._watches = []
         self.op_counts = {}
         self.revision = 0
+        # Availability / failure state (see repro.faults).
+        self.available = True
+        self._epoch = 0  # bumped on failover/crash; queued ops abort
+        # Processes currently holding a worker slot.  A list, not a set:
+        # abort order must be deterministic across runs.
+        self._executing = []
+        self.aborted_ops = 0
+        self.crash_count = 0
 
     # -- request processing ------------------------------------------------
 
@@ -172,8 +208,18 @@ class StoreServer:
         return self.env.process(self._handle(op, args))
 
     def _handle(self, op, args):
+        epoch = self._epoch
         yield self._worker_pool.acquire()
+        proc = self.env.active_process
+        self._executing.append(proc)
         try:
+            if epoch != self._epoch or not self.available:
+                # The server failed over / crashed while this request was
+                # queued (or is still down): abort retryably.
+                self.aborted_ops += 1
+                return _Failure(UnavailableError(
+                    f"store {self.location!r} is unavailable"
+                ))
             method = getattr(self, f"op_{op}", None)
             if method is None:
                 raise StoreError(f"{type(self).__name__} has no operation {op!r}")
@@ -188,9 +234,19 @@ class StoreServer:
             if hasattr(result, "send"):  # op implemented as a sub-process
                 result = yield self.env.process(result)
             return result
+        except Interrupt:
+            # Aborted in flight by fail_over()/crash(): the operation had
+            # not committed yet (commits are synchronous after the latency
+            # yield), so the caller may safely retry.
+            self.aborted_ops += 1
+            return _Failure(UnavailableError(
+                f"store {self.location!r}: in-flight {op!r} aborted by failover"
+            ))
         except StoreError as exc:
             return _Failure(exc)
         finally:
+            if proc in self._executing:
+                self._executing.remove(proc)
             self._worker_pool.release()
 
     # -- watch fan-out -----------------------------------------------------
@@ -199,37 +255,131 @@ class StoreServer:
         self._watches.append(watch)
 
     def notify(self, event):
-        """Fan an event out to all matching watchers over their links."""
+        """Fan an event out to all matching watchers over their links.
+
+        A watch stream is reliable-until-broken (TCP-like): when a fault
+        rule loses a delivery, the whole stream breaks instead of
+        silently skipping one event -- the watcher detects it via
+        keepalive, re-watches, and resyncs, so the watch-completeness
+        invariant survives lossy links.
+        """
         for watch in list(self._watches):
             if watch.matches(event.key):
                 link = self.network.link(self.location, watch.location)
-                watch.delivered += 1
-                link.send(watch.handler, event)
+                if link.send(watch.handler, event) is None:
+                    watch.break_connection(self.watch_keepalive)
+                else:
+                    watch.delivered += 1
 
     def next_revision(self):
         self.revision += 1
         return self.revision
 
+    # -- failure injection surface (see repro.faults) -----------------------
+
     def fail_over(self):
-        """Simulate a server failover: data survives, watches do not.
+        """Simulate a server failover: data survives, connections do not.
 
         Every active watch is closed (clients with ``on_close`` get told
-        and are expected to re-watch + resync).  Returns how many watches
-        were dropped.
+        and are expected to re-watch + resync), and every in-flight
+        operation aborts with a retryable
+        :class:`~repro.errors.UnavailableError` -- clients behind a
+        :class:`repro.faults.RetryPolicy` ride through transparently.
+        Returns how many watches were dropped.
         """
         dropped = list(self._watches)
         for watch in dropped:
             watch.close()
+        self.abort_in_flight()
         return len(dropped)
+
+    def abort_in_flight(self):
+        """Abort queued and executing operations with ``UnavailableError``.
+
+        Executing operations are interrupted at their current yield point
+        (always before their commit -- commits are synchronous after the
+        latency delay); queued operations observe the epoch bump when
+        they eventually acquire a worker.  Returns how many executing
+        operations were interrupted.
+        """
+        self._epoch += 1
+        interrupted = 0
+        for proc in list(self._executing):
+            if proc.is_alive and proc is not self.env.active_process:
+                proc.interrupt("store failover")
+                interrupted += 1
+        return interrupted
+
+    def sever_watches(self, location=None, detect_after=None):
+        """Break watch streams (to one client location, or all).
+
+        Used when the server cannot notify clients (crash, partition):
+        each client's keepalive fires ``on_close`` after ``detect_after``
+        (default: :attr:`watch_keepalive`) seconds.  Returns the count.
+        """
+        grace = detect_after if detect_after is not None else self.watch_keepalive
+        severed = [
+            w for w in list(self._watches)
+            if w.active and (location is None or w.location == location)
+        ]
+        for watch in severed:
+            watch.break_connection(grace)
+        return len(severed)
+
+    def crash(self):
+        """Hard-kill the server: lose volatile state, abort everything.
+
+        What "volatile state" means is backend-specific (``_on_crash``):
+        the apiserver-like store recovers its objects from a write-ahead
+        log on :meth:`restart`; the Redis-like store loses them.  While
+        down, every operation fails with ``UnavailableError``.
+        """
+        if not self.available:
+            return
+        self.available = False
+        self.crash_count += 1
+        self.abort_in_flight()
+        self.sever_watches()
+        self._on_crash()
+        if self.tracer is not None:
+            self.tracer.record("fault", "store-crash", location=self.location)
+
+    def restart(self):
+        """Bring a crashed server back (replaying durable state, if any)."""
+        if self.available:
+            return
+        self._on_restart()
+        self.available = True
+        if self.tracer is not None:
+            self.tracer.record("fault", "store-restart", location=self.location)
+
+    def set_available(self, available):
+        """Transient unavailability window: reject ops, keep state/watches."""
+        self.available = bool(available)
+
+    def _on_crash(self):
+        """Subclass hook: drop volatile state."""
+
+    def _on_restart(self):
+        """Subclass hook: recover durable state."""
 
 
 class StoreClient:
-    """Base class for backend clients bound to one caller location."""
+    """Base class for backend clients bound to one caller location.
 
-    def __init__(self, server, location):
+    With a :class:`repro.faults.RetryPolicy` (and optionally a
+    :class:`repro.faults.CircuitBreaker`) attached, every operation rides
+    through transient faults -- store failover/crash windows, partitioned
+    links -- with seeded-jitter exponential backoff.  Without one, the
+    first :class:`~repro.errors.UnavailableError` surfaces to the caller.
+    """
+
+    def __init__(self, server, location, retry_policy=None, circuit_breaker=None):
         self.server = server
         self.env = server.env
         self.location = location
+        self.retry_policy = retry_policy
+        self.circuit_breaker = circuit_breaker
 
     @property
     def colocated(self):
@@ -237,7 +387,18 @@ class StoreClient:
 
     def request(self, op, **args):
         """Round-trip one operation; returns a simnet process event."""
-        return self.env.process(self._request(op, args))
+        if self.retry_policy is None and self.circuit_breaker is None:
+            return self.env.process(self._request(op, args))
+        from repro.faults.retry import RetryPolicy
+
+        policy = self.retry_policy
+        if policy is None:  # breaker-only client: gate but never retry
+            policy = self.retry_policy = RetryPolicy(max_attempts=1)
+        return policy.execute(
+            self.env,
+            lambda: self.env.process(self._request(op, args)),
+            breaker=self.circuit_breaker,
+        )
 
     def _request(self, op, args):
         if not self.colocated:

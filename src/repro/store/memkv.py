@@ -115,6 +115,17 @@ class MemKV(ObjectOpsMixin, StoreServer):
 
         return run(self.env)
 
+    # -- crash semantics -----------------------------------------------------
+
+    def _on_crash(self):
+        """In-memory store: a crash loses all state (no persistence path).
+
+        The revision counter is intentionally *not* reset, so post-restart
+        commits never reuse a revision that watchers already observed.
+        """
+        self._objects = {}
+        self._strings = {}
+
 
 class MemKVClient(StoreClient):
     """Typed convenience client for the Redis-like store."""
