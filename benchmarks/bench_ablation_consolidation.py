@@ -44,18 +44,18 @@ def run(width, consolidate, exchanges=10):
     source_schema, target_schema, dxg = build_spec(width)
     de.host_store("knactor-a", source_schema, owner="a")
     de.host_store("knactor-b", target_schema, owner="b")
-    de.grant_integrator("cast", "knactor-a")
-    de.grant_integrator("cast", "knactor-b")
+    de.grant("cast", "knactor-a", role="integrator")
+    de.grant("cast", "knactor-b", role="integrator")
     executor = DXGExecutor(
         env,
         parse_dxg(dxg),
         handles={
-            "A": de.handle("knactor-a", "cast"),
-            "B": de.handle("knactor-b", "cast"),
+            "A": de.handle("knactor-a", principal="cast"),
+            "B": de.handle("knactor-b", principal="cast"),
         },
         options=ExecutorOptions(consolidate=consolidate),
     )
-    owner = de.handle("knactor-a", "a")
+    owner = de.handle("knactor-a", principal="a")
     for i in range(exchanges):
         env.run(
             until=owner.create(
@@ -128,18 +128,18 @@ def test_results_identical_either_way(report):
         source_schema, target_schema, dxg = build_spec(4)
         de.host_store("knactor-a", source_schema, owner="a")
         de.host_store("knactor-b", target_schema, owner="b")
-        de.grant_integrator("cast", "knactor-a")
-        de.grant_integrator("cast", "knactor-b")
+        de.grant("cast", "knactor-a", role="integrator")
+        de.grant("cast", "knactor-b", role="integrator")
         executor = DXGExecutor(
             env, parse_dxg(dxg),
-            handles={"A": de.handle("knactor-a", "cast"),
-                     "B": de.handle("knactor-b", "cast")},
+            handles={"A": de.handle("knactor-a", principal="cast"),
+                     "B": de.handle("knactor-b", principal="cast")},
             options=ExecutorOptions(consolidate=consolidate),
         )
-        owner = de.handle("knactor-a", "a")
+        owner = de.handle("knactor-a", principal="a")
         env.run(until=owner.create("x", {f"f{j}": float(j) for j in range(4)}))
         env.run(until=executor.exchange("x"))
-        reader = de.handle("knactor-b", "b")
+        reader = de.handle("knactor-b", principal="b")
         states[consolidate] = env.run(until=reader.get("x"))["data"]
     assert states[True] == states[False]
 

@@ -47,23 +47,23 @@ def build(transactional, watch_collector=None):
     de = ObjectDE(env, ApiServer(env, net, watch_overhead=0.0005))
     de.host_store("knactor-checkout", ORDER_SCHEMA, owner="checkout")
     de.host_store("knactor-shipping", SHIPMENT_SCHEMA, owner="shipping")
-    de.grant_integrator("cast", "knactor-checkout")
-    de.grant_integrator("cast", "knactor-shipping")
+    de.grant("cast", "knactor-checkout", role="integrator")
+    de.grant("cast", "knactor-shipping", role="integrator")
     executor = DXGExecutor(
         env, parse_dxg(DXG),
-        handles={"C": de.handle("knactor-checkout", "cast"),
-                 "S": de.handle("knactor-shipping", "cast")},
+        handles={"C": de.handle("knactor-checkout", principal="cast"),
+                 "S": de.handle("knactor-shipping", principal="cast")},
         options=ExecutorOptions(transactional=transactional),
     )
     if watch_collector is not None:
-        observer = de.handle("knactor-checkout", "checkout")
+        observer = de.handle("knactor-checkout", principal="checkout")
         observer.watch(watch_collector)
     return env, de, executor
 
 
 def run_exchanges(transactional, count=20):
     env, de, executor = build(transactional)
-    owner = de.handle("knactor-checkout", "checkout")
+    owner = de.handle("knactor-checkout", principal="checkout")
     start = env.now
     for i in range(count):
         env.run(until=owner.create(f"o{i}", {"cost": float(i)}))
@@ -113,8 +113,8 @@ def test_plain_mode_has_anomaly_window_txn_does_not(report):
             seen.append(event)
 
         env, de, executor = build(transactional, watch_collector=on_event)
-        owner = de.handle("knactor-checkout", "checkout")
-        shipping_reader = de.handle("knactor-shipping", "shipping")
+        owner = de.handle("knactor-checkout", principal="checkout")
+        shipping_reader = de.handle("knactor-shipping", principal="shipping")
         env.run(until=owner.create("o1", {"cost": 1.0}))
         env.run(until=executor.exchange("o1"))
         env.run()

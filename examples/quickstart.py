@@ -61,8 +61,8 @@ def main():
     )
 
     # Composition is a grant plus an integrator -- not service code.
-    de.grant_reader("quick-cast", "knactor-thermostat")
-    de.grant_integrator("quick-cast", "knactor-display")
+    de.grant("quick-cast", "knactor-thermostat", role="reader")
+    de.grant("quick-cast", "knactor-display", role="integrator")
     cast = Cast("quick-cast", DXG)
     runtime.add_integrator(cast)
     runtime.start()

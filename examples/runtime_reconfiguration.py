@@ -64,7 +64,7 @@ def main():
         Knactor("shipping2", [StoreBinding("default", "object", schema2)],
                 reconciler=DroneShippingReconciler())
     )
-    app.de.grant_integrator("retail-cast", "knactor-shipping2")
+    app.de.grant("retail-cast", "knactor-shipping2", role="integrator")
     app.cast.reconfigure(
         spec=(
             "Input:\n"

@@ -17,7 +17,7 @@ from repro.core.optimizer import K_APISERVER, OptimizationProfile
 from repro.errors import ConfigurationError
 from repro.exchange import ObjectDE
 from repro.simnet import Environment, Network, Tracer
-from repro.store import ApiServer, MemKV
+from repro.store import ApiServer, MemKV, ShardedStore
 
 #: Fig. 6, verbatim: the data exchange graph composing Checkout,
 #: Shipping, and Payment.
@@ -90,7 +90,7 @@ class RetailKnactorApp:
 
     @classmethod
     def build(cls, env=None, profile=K_APISERVER, seed=7, with_notify=True,
-              dxg=None, retry_policy=None):
+              dxg=None, retry_policy=None, shards=1, watch_batch_window=0.0):
         """Construct the full app under an optimization profile.
 
         ``dxg`` overrides the main integrator's spec (the Table 2 bench
@@ -98,7 +98,10 @@ class RetailKnactorApp:
         measured configuration).  ``retry_policy`` (a
         :class:`repro.faults.RetryPolicy`) is shared by every store
         client the exchange mints -- required for chaos runs, harmless
-        otherwise.
+        otherwise.  ``shards > 1`` hash-partitions the Object backend
+        across that many replicas (a :class:`repro.store.ShardedStore`);
+        ``watch_batch_window > 0`` (seconds) coalesces watch fan-out per
+        watcher per window -- the scale-out hot path.
         """
         env = env if env is not None else Environment()
         network = Network(env, default_latency=config.NETWORK_HOP)
@@ -107,20 +110,27 @@ class RetailKnactorApp:
 
         if profile.backend == "apiserver":
             calibration = config.APISERVER
-            backend = ApiServer(
-                env, network, location="object-backend",
-                ops=calibration.ops, watch_overhead=calibration.watch_overhead,
-                tracer=tracer,
-            )
+            server_cls = ApiServer
         elif profile.backend == "memkv":
             calibration = config.MEMKV
-            backend = MemKV(
-                env, network, location="object-backend",
-                ops=calibration.ops, watch_overhead=calibration.watch_overhead,
-                tracer=tracer,
-            )
+            server_cls = MemKV
         else:
             raise ConfigurationError(f"unknown backend {profile.backend!r}")
+
+        def make_backend(location):
+            return server_cls(
+                env, network, location=location,
+                ops=calibration.ops, watch_overhead=calibration.watch_overhead,
+                tracer=tracer, watch_batch_window=watch_batch_window,
+            )
+
+        if shards > 1:
+            backend = ShardedStore(
+                [make_backend(f"object-backend-{i}") for i in range(shards)],
+                name="object-backend",
+            )
+        else:
+            backend = make_backend("object-backend")
         de = ObjectDE(env, backend, retry_policy=retry_policy)
         runtime.add_exchange("object", de)
 
@@ -140,7 +150,7 @@ class RetailKnactorApp:
         # Grants: the integrators may read the involved stores and write
         # exactly the +kr: external fields.
         for store in ("knactor-checkout", "knactor-shipping", "knactor-payment"):
-            de.grant_integrator("retail-cast", store)
+            de.grant("retail-cast", store, role="integrator")
         cast = Cast(
             "retail-cast",
             dxg if dxg is not None else RETAIL_DXG,
@@ -152,8 +162,8 @@ class RetailKnactorApp:
 
         notify_cast = None
         if with_notify:
-            de.grant_reader("notify-cast", "knactor-checkout")
-            de.grant_integrator("notify-cast", "knactor-email")
+            de.grant("notify-cast", "knactor-checkout", role="reader")
+            de.grant("notify-cast", "knactor-email", role="integrator")
             notify_cast = Cast(
                 "notify-cast",
                 NOTIFY_DXG,

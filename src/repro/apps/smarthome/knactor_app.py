@@ -117,8 +117,8 @@ class SmartHomeKnactorApp:
         )
 
         # -- integrators: ALL the composition logic ------------------------
-        log_de.grant_reader("sensor-sync", "knactor-motion-log")
-        log_de.grant_integrator("sensor-sync", "knactor-house-log")
+        log_de.grant("sensor-sync", "knactor-motion-log", role="reader")
+        log_de.grant("sensor-sync", "knactor-house-log", role="integrator")
         sensor_sync = Sync(
             "sensor-sync",
             flows=[
@@ -131,8 +131,8 @@ class SmartHomeKnactorApp:
         )
         runtime.add_integrator(sensor_sync)
 
-        log_de.grant_reader("energy-sync", "knactor-lamp-log")
-        log_de.grant_integrator("energy-sync", "knactor-house-log")
+        log_de.grant("energy-sync", "knactor-lamp-log", role="reader")
+        log_de.grant("energy-sync", "knactor-house-log", role="integrator")
         energy_sync = Sync(
             "energy-sync",
             flows=[
@@ -145,15 +145,15 @@ class SmartHomeKnactorApp:
         )
         runtime.add_integrator(energy_sync)
 
-        object_de.grant_reader("control-cast", "knactor-house")
-        object_de.grant_integrator("control-cast", "knactor-lamp")
+        object_de.grant("control-cast", "knactor-house", role="reader")
+        object_de.grant("control-cast", "knactor-lamp", role="integrator")
         control_cast = Cast("control-cast", CONTROL_DXG)
         runtime.add_integrator(control_cast)
 
         # A Rollup keeps a live energy gauge on the House's Object store,
         # aggregated from its own Log store.
-        log_de.grant_reader("energy-rollup", "knactor-house-log")
-        object_de.grant_integrator("energy-rollup", "knactor-house")
+        log_de.grant("energy-rollup", "knactor-house-log", role="reader")
+        object_de.grant("energy-rollup", "knactor-house", role="integrator")
         energy_rollup = Rollup("energy-rollup", rules=[
             RollupRule(
                 source="knactor-house-log",

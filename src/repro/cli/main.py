@@ -8,6 +8,7 @@ Subcommands:
 - ``knactor table1``                  -- regenerate Table 1,
 - ``knactor table2 [--orders N]``     -- regenerate Table 2,
 - ``knactor analyze FILE``            -- statically analyze a DXG file,
+- ``knactor bench shard-scaling``     -- run the shard-scaling benchmark,
 - ``knactor version``.
 """
 
@@ -168,6 +169,47 @@ def cmd_trace(args):
     return 0
 
 
+def cmd_bench(args):
+    if args.bench != "shard-scaling":
+        print(f"error: unknown benchmark {args.bench!r}", file=sys.stderr)
+        return 1
+    module = _load_benchmark("bench_shard_scaling")
+    if module is None:
+        print(
+            "error: benchmarks/bench_shard_scaling.py not found "
+            "(run from a repository checkout)",
+            file=sys.stderr,
+        )
+        return 1
+    argv = ["--smoke"] if args.smoke else []
+    if args.out:
+        argv += ["--out", args.out]
+    return module.main(argv)
+
+
+def _load_benchmark(name):
+    """Load a benchmark module from the repository's ``benchmarks/`` dir.
+
+    Benchmarks live outside the installed package (they are artifacts of
+    the checkout, like the CI workflow), so resolve them relative to the
+    working directory first, then relative to the source tree.
+    """
+    import importlib.util
+    from pathlib import Path
+
+    candidates = [
+        Path.cwd() / "benchmarks" / f"{name}.py",
+        Path(__file__).resolve().parents[3] / "benchmarks" / f"{name}.py",
+    ]
+    for path in candidates:
+        if path.is_file():
+            spec = importlib.util.spec_from_file_location(name, path)
+            module = importlib.util.module_from_spec(spec)
+            spec.loader.exec_module(module)
+            return module
+    return None
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="knactor", description="Knactor framework CLI"
@@ -205,6 +247,14 @@ def build_parser():
     analyze = sub.add_parser("analyze", help="statically analyze a DXG file")
     analyze.add_argument("file")
     analyze.set_defaults(fn=cmd_analyze)
+
+    bench = sub.add_parser("bench", help="run a performance benchmark")
+    bench.add_argument("bench", choices=["shard-scaling"])
+    bench.add_argument("--smoke", action="store_true",
+                       help="small sweep (what CI runs)")
+    bench.add_argument("--out", default=None,
+                       help="output JSON path (default: repo root)")
+    bench.set_defaults(fn=cmd_bench)
 
     trace = sub.add_parser(
         "trace", help="run a retail demo and export a Chrome trace JSON"

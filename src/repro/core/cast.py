@@ -234,7 +234,8 @@ class Cast(Integrator):
         for alias, handle in self.executor.handles.items():
             self._watches.append(
                 handle.watch(self._make_handler(alias),
-                             on_close=self._on_watch_lost)
+                             on_close=self._on_watch_lost,
+                             batch_handler=self._make_batch_handler(alias))
             )
 
     def _on_watch_lost(self):
@@ -249,25 +250,38 @@ class Cast(Integrator):
 
     def _make_handler(self, alias):
         def handler(event):
-            kind, cid = DXGExecutor.split_key(event.key)
-            self.runtime.tracer.record(
-                "cast", "event", integrator=self.name, alias=alias,
-                kind=kind, cid=cid, type=event.type,
-            )
-            self.executor.update_cache(
-                alias, kind, cid, None if event.type == "DELETED" else event.object
-            )
-            if self.executor.is_global(alias):
-                # A lookup object changed: every known exchange group may
-                # derive different values now.  Sorted: deterministic.
-                for seen_cid in sorted(self._seen_cids):
-                    self._queue[seen_cid] = True
-            else:
-                self._seen_cids.add(cid)
-                self._queue[cid] = True
+            self._ingest(alias, event)
             self._kick()
 
         return handler
+
+    def _make_batch_handler(self, alias):
+        """Consume a coalesced watch delivery: N events, ONE worker kick."""
+
+        def handler(events):
+            for event in events:
+                self._ingest(alias, event)
+            self._kick()
+
+        return handler
+
+    def _ingest(self, alias, event):
+        kind, cid = DXGExecutor.split_key(event.key)
+        self.runtime.tracer.record(
+            "cast", "event", integrator=self.name, alias=alias,
+            kind=kind, cid=cid, type=event.type,
+        )
+        self.executor.update_cache(
+            alias, kind, cid, None if event.type == "DELETED" else event.object
+        )
+        if self.executor.is_global(alias):
+            # A lookup object changed: every known exchange group may
+            # derive different values now.  Sorted: deterministic.
+            for seen_cid in sorted(self._seen_cids):
+                self._queue[seen_cid] = True
+        else:
+            self._seen_cids.add(cid)
+            self._queue[cid] = True
 
     def _kick(self):
         pending, self._wakeups = self._wakeups, []

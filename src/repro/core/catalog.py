@@ -176,7 +176,7 @@ class Catalog:
             )
         integrator_name = integrator_name or f"{package.name}-{package.version}"
         for store in report.store_map.values():
-            de.grant_integrator(integrator_name, store)
+            de.grant(integrator_name, store, role="integrator")
         cast = Cast(
             integrator_name, package.dxg, de=de_name,
             store_map=report.store_map,

@@ -147,9 +147,9 @@ def _run_order(spec, schemas, updates, order, cid, functions,
             raise ConfigurationError(f"no schema supplied for alias {alias!r}")
         store_name = f"verify-{alias}"
         de.host_store(store_name, schema, owner=f"owner-{alias}")
-        de.grant_integrator("verifier", store_name)
-        handles[alias] = de.handle(store_name, "verifier")
-        owners[alias] = de.handle(store_name, f"owner-{alias}")
+        de.grant("verifier", store_name, role="integrator")
+        handles[alias] = de.handle(store_name, principal="verifier")
+        owners[alias] = de.handle(store_name, principal=f"owner-{alias}")
     executor = DXGExecutor(
         env, spec, handles,
         functions=functions,

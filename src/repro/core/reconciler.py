@@ -208,7 +208,8 @@ class Reconciler:
         default = self.ctx.stores.get("default")
         if default is not None:
             self._watch_handles.append(
-                default.watch(self._on_event, on_close=self._on_watch_lost)
+                default.watch(self._on_event, on_close=self._on_watch_lost,
+                              batch_handler=self._on_events)
             )
 
     def _on_watch_lost(self):
@@ -309,11 +310,21 @@ class Reconciler:
     # -- event intake ---------------------------------------------------------------
 
     def _on_event(self, event):
-        self.ctx.trace(
-            "observed", store=self.name, key=event.key, type=event.type,
-        )
-        self._queue[event.key] = event.type
-        self._queue.move_to_end(event.key)
+        self._on_events([event])
+
+    def _on_events(self, events):
+        """Intake one watch delivery (a single event or a coalesced batch).
+
+        Level-triggered consumption makes batches natural: each event
+        marks its key dirty (latest type wins, FIFO order preserved) and
+        the worker wakes ONCE for the whole delivery.
+        """
+        for event in events:
+            self.ctx.trace(
+                "observed", store=self.name, key=event.key, type=event.type,
+            )
+            self._queue[event.key] = event.type
+            self._queue.move_to_end(event.key)
         self._kick()
 
     def _make_log_handler(self, local_name):

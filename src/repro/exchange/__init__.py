@@ -22,7 +22,7 @@ from repro.exchange.access import (
     Role,
 )
 from repro.exchange.audit import AuditLog, AuditRecord
-from repro.exchange.base import DataExchange, HostedStore
+from repro.exchange.base import DataExchange, HostedStore, StoreHandle
 from repro.exchange.log_de import LogDE, LogStoreHandle
 from repro.exchange.object_de import ObjectDE, ObjectStoreHandle, Transaction
 
@@ -39,5 +39,6 @@ __all__ = [
     "ObjectStoreHandle",
     "Permission",
     "Role",
+    "StoreHandle",
     "Transaction",
 ]

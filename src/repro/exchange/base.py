@@ -13,6 +13,7 @@ write only the fields annotated ``+kr: external`` (Object) or
 ``+kr: ingest`` (Log), unless the grant says otherwise.
 """
 
+import warnings
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError, NotFoundError
@@ -25,6 +26,23 @@ from repro.exchange.access import (
 )
 from repro.exchange.audit import AuditLog
 from repro.schema import Schema, SchemaRegistry
+
+#: Deprecation registry: each deprecated call form warns exactly ONCE per
+#: process (chaos suites call these in tight loops; a warning per call
+#: would drown real output).
+_WARNED = set()
+
+
+def _warn_once(key, message):
+    if key in _WARNED:
+        return
+    _WARNED.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+
+
+def _reset_deprecation_warnings():
+    """Test hook: make the next deprecated call warn again."""
+    _WARNED.clear()
 
 
 @dataclass
@@ -121,12 +139,63 @@ class DataExchange:
         self,
         principal,
         store_name,
-        verbs,
+        *deprecated,
+        role="integrator",
+        verbs=None,
         write_fields=None,
         read_fields=(),
         note="",
     ):
-        """Grant ``principal`` the given verbs on a hosted store."""
+        """Grant ``principal`` access to a hosted store -- the one entry point.
+
+        Two modes:
+
+        - **role-based** (the common case): ``role="integrator"`` (the
+          DE-specific standard integrator grant: reads plus writes scoped
+          to the schema's externalized fields) or ``role="reader"``
+          (read-only).
+        - **custom**: pass ``verbs`` explicitly (optionally with
+          ``write_fields`` / ``read_fields``) for a hand-tuned permission
+          set; ``role`` is ignored.
+
+        The pre-unification positional form ``grant(principal, store,
+        verbs, ...)`` still works but is deprecated (warns once); so are
+        the :meth:`grant_integrator` / :meth:`grant_reader` aliases.
+        """
+        if deprecated:
+            _warn_once(
+                ("grant-positional", type(self).__name__),
+                "positional verbs/write_fields in DataExchange.grant() are "
+                "deprecated; use grant(principal, store_name, role=...) or "
+                "grant(principal, store_name, verbs=..., write_fields=...)",
+            )
+            if len(deprecated) > 4:
+                raise TypeError(
+                    f"grant() takes at most 6 positional arguments "
+                    f"({2 + len(deprecated)} given)"
+                )
+            shim = dict(zip(("verbs", "write_fields", "read_fields", "note"),
+                            deprecated))
+            verbs = shim.get("verbs", verbs)
+            write_fields = shim.get("write_fields", write_fields)
+            read_fields = shim.get("read_fields", read_fields)
+            note = shim.get("note", note)
+        if verbs is None:
+            verbs, write_fields, default_note = self._role_policy(role, store_name)
+            note = note or default_note
+        return self._grant(
+            principal, store_name, verbs,
+            write_fields=write_fields, read_fields=read_fields, note=note,
+        )
+
+    def _role_policy(self, role, store_name):
+        """Subclass hook: ``(verbs, write_fields, default_note)`` for a role."""
+        raise ConfigurationError(
+            f"{type(self).__name__} has no grant role {role!r}"
+        )
+
+    def _grant(self, principal, store_name, verbs, write_fields=None,
+               read_fields=(), note=""):
         self.store(store_name)  # must exist
         verbs = frozenset(verbs)
         role = Role(
@@ -153,13 +222,68 @@ class DataExchange:
         return grant
 
     def grant_integrator(self, principal, store_name, note=""):
-        """The standard integrator grant for this DE type (subclasses)."""
-        raise NotImplementedError
+        """Deprecated alias for ``grant(..., role="integrator")``."""
+        _warn_once(
+            ("grant_integrator", type(self).__name__),
+            "DataExchange.grant_integrator() is deprecated; use "
+            'grant(principal, store_name, role="integrator")',
+        )
+        return self.grant(principal, store_name, role="integrator", note=note)
+
+    def grant_reader(self, principal, store_name, note=""):
+        """Deprecated alias for ``grant(..., role="reader")``."""
+        _warn_once(
+            ("grant_reader", type(self).__name__),
+            "DataExchange.grant_reader() is deprecated; use "
+            'grant(principal, store_name, role="reader")',
+        )
+        return self.grant(principal, store_name, role="reader", note=note)
 
     # -- handles -----------------------------------------------------------------
 
-    def handle(self, store_name, principal, location=None):
-        """A store handle bound to ``principal`` at ``location``."""
+    def handle(self, store_name, *deprecated, principal=None, location=None,
+               retry_policy=None):
+        """A :class:`StoreHandle` bound to ``principal`` at ``location``.
+
+        The unified signature across Object and Log exchanges:
+
+        - ``principal`` (required, keyword-only): who the handle acts as
+          (RBAC subject, audit identity);
+        - ``location`` defaults to the principal's name (the common
+          "client runs where the knactor runs" case);
+        - ``retry_policy`` overrides the DE-wide policy for this handle
+          only.
+
+        The pre-unification positional form ``handle(store, principal,
+        location)`` still works but is deprecated (warns once).
+        """
+        if deprecated:
+            _warn_once(
+                ("handle-positional", type(self).__name__),
+                "positional principal/location in DataExchange.handle() are "
+                "deprecated; use handle(store_name, principal=..., "
+                "location=...)",
+            )
+            if len(deprecated) > 2:
+                raise TypeError(
+                    f"handle() takes at most 3 positional arguments "
+                    f"({1 + len(deprecated)} given)"
+                )
+            if principal is None:
+                principal = deprecated[0]
+            if len(deprecated) > 1 and location is None:
+                location = deprecated[1]
+        if principal is None:
+            raise TypeError("handle() missing required argument: 'principal'")
+        hosted = self.store(store_name)
+        return self._make_handle(
+            hosted, principal,
+            location if location is not None else principal,
+            retry_policy,
+        )
+
+    def _make_handle(self, hosted, principal, location, retry_policy):
+        """Subclass hook: build the DE-specific :class:`StoreHandle`."""
         raise NotImplementedError
 
     def describe(self):
@@ -181,3 +305,49 @@ class DataExchange:
                 f"{'/'.join(sorted(grant.verbs))} [{scope}]"
             )
         return "\n".join(lines)
+
+
+class StoreHandle:
+    """The common handle protocol returned by :meth:`DataExchange.handle`.
+
+    Every handle, regardless of exchange type, carries the same four
+    bindings (``de`` / ``hosted`` / ``principal`` / ``client``), exposes
+    ``env`` / ``schema`` / ``store_name``, and admits every operation
+    through RBAC via :meth:`_check`.  Subclasses add the substrate
+    surface -- CRUD + ``watch`` for the Object DE, ``load`` / ``query``
+    + ``watch`` for the Log DE -- with every operation returning a
+    simnet process event.  ``watch`` is part of the shared protocol:
+    both exchanges accept ``handler``, ``on_close`` (stream broke:
+    re-watch + resync), and ``batch_handler`` (consume a coalesced
+    delivery in one call).
+    """
+
+    def __init__(self, de, hosted, principal, client):
+        self.de = de
+        self.hosted = hosted
+        self.principal = principal
+        self.client = client
+
+    @property
+    def env(self):
+        return self.de.env
+
+    @property
+    def schema(self):
+        return self.hosted.schema
+
+    @property
+    def store_name(self):
+        return self.hosted.name
+
+    def _check(self, verb, fields=None):
+        self.de.acl.check(
+            self.principal,
+            self.hosted.name,
+            verb,
+            now=self.env.now,
+            fields=fields,
+        )
+
+    def watch(self, handler, on_close=None, batch_handler=None):
+        raise NotImplementedError

@@ -13,7 +13,7 @@ validation checks declared fields' types but permits unknown fields.
 """
 
 from repro.errors import ConfigurationError
-from repro.exchange.base import DataExchange
+from repro.exchange.base import DataExchange, StoreHandle
 from repro.schema.validation import validate_state
 from repro.store.loglake import LogLake, LogLakeClient
 
@@ -21,76 +21,40 @@ from repro.store.loglake import LogLake, LogLakeClient
 class LogDE(DataExchange):
     """Log exchange over the lake backend."""
 
-    def __init__(self, env, backend, name="log-de"):
+    def __init__(self, env, backend, name="log-de", retry_policy=None):
         if not isinstance(backend, LogLake):
             raise ConfigurationError(
                 f"LogDE needs a LogLake backend, got {type(backend).__name__}"
             )
-        super().__init__(env, backend, name)
+        super().__init__(env, backend, name, retry_policy=retry_policy)
 
     def _on_hosted(self, hosted):
         # Control-plane setup: create the backing pool directly.
         self.backend.op_create_pool(pool=hosted.name)
 
-    def grant_integrator(self, principal, store_name, note=""):
-        """Query/watch + load scoped to ``+kr: ingest`` fields."""
-        schema = self.schema_for(store_name)
-        ingest = tuple(f.path for f in schema.ingest_fields())
-        return self.grant(
-            principal,
-            store_name,
-            verbs={"query", "watch", "load"},
-            write_fields=ingest,
-            note=note or "integrator grant (ingest fields only)",
-        )
+    def _role_policy(self, role, store_name):
+        """Integrator: query/watch + load scoped to ``+kr: ingest``.
+        Reader: query/watch only."""
+        if role == "integrator":
+            schema = self.schema_for(store_name)
+            ingest = tuple(f.path for f in schema.ingest_fields())
+            return (
+                {"query", "watch", "load"},
+                ingest,
+                "integrator grant (ingest fields only)",
+            )
+        if role == "reader":
+            return {"query", "watch"}, (), "read-only grant"
+        return super()._role_policy(role, store_name)
 
-    def grant_reader(self, principal, store_name, note=""):
-        return self.grant(
-            principal,
-            store_name,
-            verbs={"query", "watch"},
-            write_fields=(),
-            note=note or "read-only grant",
-        )
-
-    def handle(self, store_name, principal, location=None):
-        hosted = self.store(store_name)
-        client = LogLakeClient(
-            self.backend, location if location is not None else principal,
-            retry_policy=self.retry_policy,
-        )
+    def _make_handle(self, hosted, principal, location, retry_policy):
+        policy = retry_policy if retry_policy is not None else self.retry_policy
+        client = LogLakeClient(self.backend, location, retry_policy=policy)
         return LogStoreHandle(self, hosted, principal, client)
 
 
-class LogStoreHandle:
+class LogStoreHandle(StoreHandle):
     """A principal's access handle to one hosted Log store."""
-
-    def __init__(self, de, hosted, principal, client):
-        self.de = de
-        self.hosted = hosted
-        self.principal = principal
-        self.client = client
-
-    @property
-    def env(self):
-        return self.de.env
-
-    @property
-    def schema(self):
-        return self.hosted.schema
-
-    @property
-    def store_name(self):
-        return self.hosted.name
-
-    def _check(self, verb, fields=None):
-        self.de.acl.check(
-            self.principal,
-            self.hosted.name,
-            verb,
-            now=self.env.now,
-            fields=fields,
-        )
 
     # -- operations -------------------------------------------------------------
 
@@ -114,13 +78,16 @@ class LogStoreHandle:
         self._check("query")
         return self.client.stats(self.hosted.name)
 
-    def watch(self, handler, on_close=None):
+    def watch(self, handler, on_close=None, batch_handler=None):
         """Subscribe to appended batches.
 
         ``on_close`` fires if the backend drops the subscription
         (failover); callers re-watch and catch up from their cursor.
+        ``batch_handler`` consumes coalesced deliveries in one call when
+        the lake batches watch fan-out.
         """
         self._check("watch")
         return self.client.watch(
-            handler, key_prefix=self.hosted.name, on_close=on_close
+            handler, key_prefix=self.hosted.name, on_close=on_close,
+            batch_handler=batch_handler,
         )

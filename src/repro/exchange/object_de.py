@@ -16,60 +16,55 @@ Every handle operation:
 import copy
 
 from repro.errors import ConfigurationError
-from repro.exchange.base import DataExchange
+from repro.exchange.base import DataExchange, StoreHandle
 from repro.schema.validation import validate_state
 from repro.store.apiserver import ApiServer, ApiServerClient
 from repro.store.base import WatchEvent
 from repro.store.memkv import MemKV, MemKVClient
+from repro.store.sharded import ShardedStore, ShardedStoreClient
 from repro.util.paths import delete_path, get_path, walk_leaves
 
 
 class ObjectDE(DataExchange):
-    """Object exchange over an apiserver-like or Redis-like backend."""
+    """Object exchange over an apiserver-like, Redis-like, or sharded backend."""
 
     def __init__(self, env, backend, name="object-de", retry_policy=None):
-        if not isinstance(backend, (ApiServer, MemKV)):
+        if not isinstance(backend, (ApiServer, MemKV, ShardedStore)):
             raise ConfigurationError(
-                f"ObjectDE needs an ApiServer or MemKV backend, "
-                f"got {type(backend).__name__}"
+                f"ObjectDE needs an ApiServer, MemKV, or ShardedStore "
+                f"backend, got {type(backend).__name__}"
             )
         super().__init__(env, backend, name, retry_policy=retry_policy)
 
-    def _client(self, location):
+    def _client(self, location, retry_policy=None):
+        policy = retry_policy if retry_policy is not None else self.retry_policy
+        if isinstance(self.backend, ShardedStore):
+            return ShardedStoreClient(self.backend, location, retry_policy=policy)
         if isinstance(self.backend, ApiServer):
-            return ApiServerClient(self.backend, location,
-                                   retry_policy=self.retry_policy)
-        return MemKVClient(self.backend, location,
-                           retry_policy=self.retry_policy)
+            return ApiServerClient(self.backend, location, retry_policy=policy)
+        return MemKVClient(self.backend, location, retry_policy=policy)
 
-    def grant_integrator(self, principal, store_name, note=""):
-        """Read + patch, writes scoped to the ``+kr: external`` fields."""
-        schema = self.schema_for(store_name)
-        external = tuple(f.path for f in schema.external_fields())
-        return self.grant(
-            principal,
-            store_name,
-            verbs={"get", "list", "watch", "patch", "create"},
-            write_fields=external,
-            note=note or "integrator grant (external fields only)",
-        )
+    def _role_policy(self, role, store_name):
+        """Integrator: read + writes scoped to ``+kr: external``.  Reader:
+        read-only."""
+        if role == "integrator":
+            schema = self.schema_for(store_name)
+            external = tuple(f.path for f in schema.external_fields())
+            return (
+                {"get", "list", "watch", "patch", "create"},
+                external,
+                "integrator grant (external fields only)",
+            )
+        if role == "reader":
+            return {"get", "list", "watch"}, (), "read-only grant"
+        return super()._role_policy(role, store_name)
 
-    def grant_reader(self, principal, store_name, note=""):
-        return self.grant(
-            principal,
-            store_name,
-            verbs={"get", "list", "watch"},
-            write_fields=(),
-            note=note or "read-only grant",
-        )
-
-    def handle(self, store_name, principal, location=None):
-        hosted = self.store(store_name)
+    def _make_handle(self, hosted, principal, location, retry_policy):
         return ObjectStoreHandle(
             de=self,
             hosted=hosted,
             principal=principal,
-            client=self._client(location if location is not None else principal),
+            client=self._client(location, retry_policy),
         )
 
     def transaction(self, principal, location=None):
@@ -93,40 +88,13 @@ class ObjectDE(DataExchange):
         return isinstance(self.backend, MemKV)
 
 
-class ObjectStoreHandle:
+class ObjectStoreHandle(StoreHandle):
     """A principal's access handle to one hosted Object store."""
-
-    def __init__(self, de, hosted, principal, client):
-        self.de = de
-        self.hosted = hosted
-        self.principal = principal
-        self.client = client
-
-    @property
-    def env(self):
-        return self.de.env
-
-    @property
-    def schema(self):
-        return self.hosted.schema
-
-    @property
-    def store_name(self):
-        return self.hosted.name
 
     # -- helpers -----------------------------------------------------------
 
     def _key(self, key):
         return f"{self.hosted.name}/{key}"
-
-    def _check(self, verb, fields=None):
-        self.de.acl.check(
-            self.principal,
-            self.hosted.name,
-            verb,
-            now=self.env.now,
-            fields=fields,
-        )
 
     def _mask(self, view):
         """Strip secret fields unless this principal may read them."""
@@ -187,27 +155,38 @@ class ObjectStoreHandle:
 
         return self.env.process(run(self.env))
 
-    def watch(self, handler, prefix="", on_close=None):
+    def watch(self, handler, prefix="", on_close=None, batch_handler=None):
         """Watch this store; events carry keys relative to the store.
 
         ``on_close`` fires if the backend drops the watch (failover);
-        callers re-watch and resync.
+        callers re-watch and resync.  ``batch_handler(events)`` receives
+        whole coalesced deliveries (masked, prefix-stripped) when the
+        backend batches watch fan-out.
         """
         self._check("watch")
 
-        def wrapped(event):
+        def transform(event):
             view = self._mask({"data": event.object})
-            handler(
-                WatchEvent(
-                    type=event.type,
-                    key=event.key[len(self.hosted.key_prefix) :],
-                    object=view["data"],
-                    revision=event.revision,
-                )
+            return WatchEvent(
+                type=event.type,
+                key=event.key[len(self.hosted.key_prefix) :],
+                object=view["data"],
+                revision=event.revision,
             )
 
+        wrapped = None
+        if handler is not None:
+            def wrapped(event):
+                handler(transform(event))
+
+        wrapped_batch = None
+        if batch_handler is not None:
+            def wrapped_batch(events):
+                batch_handler([transform(e) for e in events])
+
         return self.client.watch(
-            wrapped, key_prefix=self.hosted.key_prefix, on_close=on_close
+            wrapped, key_prefix=self.hosted.key_prefix + prefix,
+            on_close=on_close, batch_handler=wrapped_batch,
         )
 
     def read_field(self, key, path, default=None):

@@ -24,11 +24,18 @@ from repro.store.base import (
     StoreServer,
     StoredObject,
     WatchEvent,
+    combine_patches,
     estimate_size,
 )
 from repro.store.apiserver import ApiServer, ApiServerClient
 from repro.store.memkv import MemKV, MemKVClient
 from repro.store.loglake import APPENDED, LogLake, LogLakeClient
+from repro.store.sharded import (
+    MergedWatch,
+    ShardedStore,
+    ShardedStoreClient,
+    shard_index,
+)
 from repro.store.retention import RefCountRetention, RetentionPolicy, TTLRetention
 from repro.store.udf import UDFContext, UDFRegistry
 
@@ -43,9 +50,12 @@ __all__ = [
     "MODIFIED",
     "MemKV",
     "MemKVClient",
+    "MergedWatch",
     "OpLatency",
     "RefCountRetention",
     "RetentionPolicy",
+    "ShardedStore",
+    "ShardedStoreClient",
     "StoreClient",
     "StoreServer",
     "StoredObject",
@@ -53,5 +63,7 @@ __all__ = [
     "UDFContext",
     "UDFRegistry",
     "WatchEvent",
+    "combine_patches",
     "estimate_size",
+    "shard_index",
 ]

@@ -74,8 +74,10 @@ class ApiServer(ObjectOpsMixin, StoreServer):
         tracer=None,
         ops=None,
         watch_overhead=0.0012,
+        watch_batch_window=0.0,
     ):
-        super().__init__(env, network, location, workers=workers, tracer=tracer)
+        super().__init__(env, network, location, workers=workers, tracer=tracer,
+                         watch_batch_window=watch_batch_window)
         if ops:
             self.OPS = {**self.OPS, **ops}
         self._objects = {}
@@ -109,13 +111,19 @@ class ApiServer(ObjectOpsMixin, StoreServer):
         self._deliver_replay(watch, from_revision)
 
     def _deliver_replay(self, watch, from_revision):
-        for event in self._history:
-            if event.revision > from_revision and watch.matches(event.key):
-                link = self.network.link(self.location, watch.location)
-                if link.send(watch.handler, event) is None:
-                    watch.break_connection(self.watch_keepalive)
-                    return
-                watch.delivered += 1
+        replayable = [
+            event for event in self._history
+            if event.revision > from_revision and watch.matches(event.key)
+        ]
+        if not replayable:
+            return
+        if self.watch_batch_window > 0:
+            # One catch-up message, mirroring batched live fan-out.
+            self._send_to_watch(watch, replayable)
+            return
+        for event in replayable:
+            if not self._send_to_watch(watch, (event,)):
+                return
 
     def set_available(self, available):
         super().set_available(available)
@@ -176,17 +184,9 @@ class ApiServerClient(StoreClient):
     def create(self, key, data, labels=None):
         return self.request("create", key=key, data=data, labels=labels)
 
-    def get(self, key):
-        return self.request("get", key=key)
-
     def update(self, key, data, resource_version=None):
         return self.request(
             "update", key=key, data=data, resource_version=resource_version
-        )
-
-    def patch(self, key, patch, resource_version=None):
-        return self.request(
-            "patch", key=key, patch=patch, resource_version=resource_version
         )
 
     def delete(self, key):
@@ -198,8 +198,10 @@ class ApiServerClient(StoreClient):
     def txn(self, ops):
         return self.request("txn", ops=ops)
 
-    def watch(self, handler, key_prefix="", from_revision=None, on_close=None):
-        watch = super().watch(handler, key_prefix, on_close=on_close)
+    def watch(self, handler, key_prefix="", from_revision=None, on_close=None,
+              batch_handler=None):
+        watch = super().watch(handler, key_prefix, on_close=on_close,
+                              batch_handler=batch_handler)
         if from_revision is not None:
             self.server.replay(watch, from_revision)
         return watch

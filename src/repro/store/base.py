@@ -106,16 +106,32 @@ class Watch:
     the server fails over, the watch is closed server-side and the
     client's ``on_close`` callback (if any) fires -- watchers re-watch
     and resync, the way Kubernetes informers re-list.
+
+    A server with watch batching enabled delivers *lists* of events in
+    one network message; :meth:`deliver` unpacks them.  A watcher that
+    can consume whole batches in one go (reconcilers, Cast) registers
+    ``batch_handler``; otherwise ``handler`` is invoked once per event,
+    in order, so batching stays invisible to per-event consumers.
     """
 
-    def __init__(self, server, location, handler, key_prefix="", on_close=None):
+    def __init__(self, server, location, handler, key_prefix="", on_close=None,
+                 batch_handler=None):
         self._server = server
         self.location = location
         self.handler = handler
         self.key_prefix = key_prefix
         self.on_close = on_close
+        self.batch_handler = batch_handler
         self.active = True
         self.delivered = 0
+
+    def deliver(self, events):
+        """Client-side arrival of one network message (1+ events)."""
+        if self.batch_handler is not None:
+            self.batch_handler(list(events))
+        else:
+            for event in events:
+                self.handler(event)
 
     def matches(self, key):
         return self.active and key.startswith(self.key_prefix)
@@ -175,7 +191,8 @@ class StoreServer:
     #: (seconds of virtual time) when the server cannot say goodbye.
     watch_keepalive = 0.02
 
-    def __init__(self, env, network, location, workers=1, tracer=None):
+    def __init__(self, env, network, location, workers=1, tracer=None,
+                 watch_batch_window=0.0):
         self.env = env
         self.network = network
         self.location = location
@@ -185,6 +202,14 @@ class StoreServer:
         # deterministic across runs (hash randomization must not leak
         # into event schedules).
         self._watches = []
+        #: Watch batching (>0 enables it): events committed within this
+        #: window are coalesced per watcher and delivered as ONE network
+        #: message, in commit order.  0 keeps the classic one-message-
+        #: per-event fan-out.
+        self.watch_batch_window = float(watch_batch_window)
+        self._watch_buffers = {}  # Watch -> [pending events]
+        self.watch_messages_sent = 0
+        self.watch_events_sent = 0
         self.op_counts = {}
         self.revision = 0
         # Availability / failure state (see repro.faults).
@@ -262,14 +287,43 @@ class StoreServer:
         silently skipping one event -- the watcher detects it via
         keepalive, re-watches, and resyncs, so the watch-completeness
         invariant survives lossy links.
+
+        With ``watch_batch_window > 0``, the event is instead buffered
+        per watcher and flushed as one message when the window closes,
+        preserving per-watcher commit order while collapsing N messages
+        into one under bursty write traffic.
         """
         for watch in list(self._watches):
             if watch.matches(event.key):
-                link = self.network.link(self.location, watch.location)
-                if link.send(watch.handler, event) is None:
-                    watch.break_connection(self.watch_keepalive)
+                if self.watch_batch_window > 0:
+                    self._buffer_for_watch(watch, event)
                 else:
-                    watch.delivered += 1
+                    self._send_to_watch(watch, (event,))
+
+    def _send_to_watch(self, watch, events):
+        """One network message carrying ``events``; False if it broke."""
+        link = self.network.link(self.location, watch.location)
+        if link.send(watch.deliver, tuple(events)) is None:
+            watch.break_connection(self.watch_keepalive)
+            return False
+        self.watch_messages_sent += 1
+        self.watch_events_sent += len(events)
+        watch.delivered += len(events)
+        return True
+
+    def _buffer_for_watch(self, watch, event):
+        buffer = self._watch_buffers.get(watch)
+        if buffer is not None:
+            buffer.append(event)
+            return
+        self._watch_buffers[watch] = [event]
+        timer = self.env.timeout(self.watch_batch_window)
+        timer.callbacks.append(lambda _evt, w=watch: self._flush_watch(w))
+
+    def _flush_watch(self, watch):
+        events = self._watch_buffers.pop(watch, None)
+        if events and watch.active:
+            self._send_to_watch(watch, events)
 
     def next_revision(self):
         self.revision += 1
@@ -364,6 +418,22 @@ class StoreServer:
         """Subclass hook: recover durable state."""
 
 
+def combine_patches(first, second):
+    """One merge-patch equivalent to applying ``first`` then ``second``.
+
+    Unlike :func:`repro.store.objectops.merge_patch` (which applies a
+    patch to *data*), this combines two patches: ``None`` values are
+    deletion markers and must survive into the combined patch.
+    """
+    out = copy.deepcopy(first)
+    for key, value in second.items():
+        if isinstance(value, dict) and isinstance(out.get(key), dict):
+            out[key] = combine_patches(out[key], value)
+        else:
+            out[key] = copy.deepcopy(value)
+    return out
+
+
 class StoreClient:
     """Base class for backend clients bound to one caller location.
 
@@ -372,6 +442,17 @@ class StoreClient:
     through transient faults -- store failover/crash windows, partitioned
     links -- with seeded-jitter exponential backoff.  Without one, the
     first :class:`~repro.errors.UnavailableError` surfaces to the caller.
+
+    Two opt-in hot-path optimizations (both off by default, preserving
+    classic request/response semantics):
+
+    - **read-through caching** (:meth:`enable_read_cache`): an informer-
+      style watch mirrors the keyspace locally and ``get`` serves hits
+      from that mirror with no network round trip (eventually consistent,
+      like reading a Kubernetes informer cache);
+    - **write coalescing** (``coalesce_writes = True``): while a patch
+      for key K is on the wire, further patches for K merge into one
+      pending follow-up request instead of queueing on the server.
     """
 
     def __init__(self, server, location, retry_policy=None, circuit_breaker=None):
@@ -380,6 +461,17 @@ class StoreClient:
         self.location = location
         self.retry_policy = retry_policy
         self.circuit_breaker = circuit_breaker
+        # Write coalescing (opt-in).
+        self.coalesce_writes = False
+        self._inflight_patches = set()  # keys with a patch on the wire
+        self._pending_patches = {}  # key -> [combined patch, done event]
+        self.patches_coalesced = 0
+        # Read-through cache (opt-in via enable_read_cache()).
+        self._read_cache = None
+        self._cache_watch = None
+        self._cache_prefix = ""
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     @property
     def colocated(self):
@@ -410,15 +502,152 @@ class StoreClient:
             raise result.exception
         return result
 
-    def watch(self, handler, key_prefix="", on_close=None):
+    # -- shared typed surface (get / patch ride the optimizations) -----------
+
+    def get(self, key):
+        """Read one object; served locally on a read-cache hit."""
+        if self._read_cache is not None and key.startswith(self._cache_prefix):
+            view = self._read_cache.get(key)
+            if view is not None:
+                self.cache_hits += 1
+                return self.env.timeout(0.0, copy.deepcopy(view))
+            self.cache_misses += 1
+        return self.request("get", key=key)
+
+    def patch(self, key, patch, resource_version=None):
+        """Merge-patch one object; same-key patches coalesce if enabled.
+
+        Coalescing never applies to version-conditional patches: a
+        ``resource_version`` precondition must reach the server as-is.
+        """
+        if self.coalesce_writes and resource_version is None:
+            return self._coalesced_patch(key, patch)
+        return self.request(
+            "patch", key=key, patch=patch, resource_version=resource_version
+        )
+
+    # -- write coalescing -----------------------------------------------------
+
+    def _coalesced_patch(self, key, patch):
+        pending = self._pending_patches.get(key)
+        if pending is not None:
+            # A follow-up is already waiting: merge into it; every caller
+            # coalesced into that flight shares its completion event.
+            pending[0] = combine_patches(pending[0], patch)
+            self.patches_coalesced += 1
+            return pending[1]
+        if key in self._inflight_patches:
+            done = self.env.event()
+            self._pending_patches[key] = [copy.deepcopy(patch), done]
+            self.patches_coalesced += 1
+            return done
+        # Mark the key in flight NOW, not when the flight process first
+        # runs: patches issued later in the same instant (a concurrent
+        # burst -- the whole point of coalescing) must see it.
+        self._inflight_patches.add(key)
+        return self.env.process(self._patch_flight(key, patch, None))
+
+    def _patch_flight(self, key, patch, done):
+        try:
+            view = yield self.request(
+                "patch", key=key, patch=patch, resource_version=None
+            )
+        except BaseException as exc:
+            self._inflight_patches.discard(key)
+            self._launch_pending(key)
+            if done is None:
+                raise
+            # Chained flight: the caller waits on ``done``, not on this
+            # process, so route the failure there (and only there).
+            done.fail(exc)
+            return None
+        self._inflight_patches.discard(key)
+        self._launch_pending(key)
+        if done is not None:
+            done.succeed(view)
+        return view
+
+    def _launch_pending(self, key):
+        pending = self._pending_patches.pop(key, None)
+        if pending is not None:
+            self._inflight_patches.add(key)
+            self.env.process(self._patch_flight(key, pending[0], pending[1]))
+
+    # -- read-through cache ---------------------------------------------------
+
+    def enable_read_cache(self, key_prefix=""):
+        """Mirror the (prefixed) keyspace locally; serve ``get`` from it.
+
+        The mirror is informer-backed: a watch keeps it current, and an
+        initial ``list`` warms it.  Reads are eventually consistent --
+        they may trail the server by the watch-delivery latency, exactly
+        like reading a Kubernetes informer cache.  A miss (or a broken
+        watch, which drops the mirror cold) falls through to a normal
+        server read, so correctness never depends on the cache.
+        """
+        if self._read_cache is not None:
+            return self._cache_watch
+        self._read_cache = {}
+        self._cache_prefix = key_prefix
+        self._cache_watch = self.watch(
+            None,
+            key_prefix=key_prefix,
+            batch_handler=self._absorb_cache_events,
+            on_close=self._on_cache_watch_lost,
+        )
+        self.env.process(self._warm_cache(key_prefix))
+        return self._cache_watch
+
+    def _warm_cache(self, key_prefix):
+        try:
+            views = yield self.request("list", key_prefix=key_prefix)
+        except StoreError:
+            return  # stay cold; gets fall through to the server
+        cache = self._read_cache
+        if cache is None:
+            return
+        for view in views:
+            current = cache.get(view["key"])
+            if current is None or view["revision"] >= current["revision"]:
+                cache[view["key"]] = view
+
+    def _absorb_cache_events(self, events):
+        cache = self._read_cache
+        if cache is None:
+            return
+        for event in events:
+            if event.type == DELETED:
+                cache.pop(event.key, None)
+                continue
+            current = cache.get(event.key)
+            if current is not None and event.revision < current["revision"]:
+                continue
+            cache[event.key] = {
+                "key": event.key,
+                "data": event.object,
+                "revision": event.revision,
+                "created_at": current["created_at"] if current else None,
+                "updated_at": self.env.now,
+            }
+
+    def _on_cache_watch_lost(self):
+        """The mirror went stale-unknowable: drop it cold and rebuild."""
+        self._read_cache = None
+        self._cache_watch = None
+        prefix, self._cache_prefix = self._cache_prefix, ""
+        self.enable_read_cache(prefix)
+
+    def watch(self, handler, key_prefix="", on_close=None, batch_handler=None):
         """Register ``handler(WatchEvent)`` for matching changes.
 
         Registration itself is immediate (steady-state watches are the
         common case; connection setup is not modelled).  ``on_close``
-        fires if the server drops the watch (failover).  Returns the
-        :class:`Watch` handle for cancellation.
+        fires if the server drops the watch (failover).  A
+        ``batch_handler(list_of_events)`` consumes whole coalesced
+        deliveries in one call when the server batches fan-out.  Returns
+        the :class:`Watch` handle for cancellation.
         """
         watch = Watch(self.server, self.location, handler, key_prefix,
-                      on_close=on_close)
+                      on_close=on_close, batch_handler=batch_handler)
         self.server.register_watch(watch)
         return watch

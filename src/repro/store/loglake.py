@@ -55,8 +55,10 @@ class LogLake(StoreServer):
         tracer=None,
         ops=None,
         watch_overhead=0.0003,
+        watch_batch_window=0.0,
     ):
-        super().__init__(env, network, location, workers=workers, tracer=tracer)
+        super().__init__(env, network, location, workers=workers, tracer=tracer,
+                         watch_batch_window=watch_batch_window)
         if ops:
             self.OPS = {**self.OPS, **ops}
         self._pools = {}

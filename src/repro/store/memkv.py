@@ -53,8 +53,10 @@ class MemKV(ObjectOpsMixin, StoreServer):
         ops=None,
         watch_overhead=0.00015,
         local_access_cost=0.00005,
+        watch_batch_window=0.0,
     ):
-        super().__init__(env, network, location, workers=workers, tracer=tracer)
+        super().__init__(env, network, location, workers=workers, tracer=tracer,
+                         watch_batch_window=watch_batch_window)
         if ops:
             self.OPS = {**self.OPS, **ops}
         self._objects = {}
@@ -133,17 +135,9 @@ class MemKVClient(StoreClient):
     def create(self, key, data, labels=None):
         return self.request("create", key=key, data=data, labels=labels)
 
-    def get(self, key):
-        return self.request("get", key=key)
-
     def update(self, key, data, resource_version=None):
         return self.request(
             "update", key=key, data=data, resource_version=resource_version
-        )
-
-    def patch(self, key, patch, resource_version=None):
-        return self.request(
-            "patch", key=key, patch=patch, resource_version=resource_version
         )
 
     def delete(self, key):

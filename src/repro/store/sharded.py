@@ -1,0 +1,315 @@
+"""A hash-sharded frontend over N homogeneous Object-store replicas.
+
+The paper's prototype backs each data store with ONE apiserver or Redis
+instance; every operation serializes through that server's worker queue.
+:class:`ShardedStore` scales the hot path out the way production DBMSs
+do (cf. Apiary's partitioned function state): the keyspace is
+hash-partitioned across N replica servers, each with its *own* worker
+pool, latency budget, and per-shard revision counter.
+
+Design points:
+
+- **Routing is client-side and deterministic**: ``crc32(key) % N`` (not
+  Python's randomized ``hash``), so every client, every run, and every
+  seed agrees on placement.
+- **Revisions are per shard.**  There is no global commit order across
+  shards -- exactly like real sharded stores.  Cross-key invariants that
+  need one commit order must keep those keys on one shard (see ``txn``).
+- **Watches are merged, interest-filtered streams**: one underlying
+  watch per shard, surfaced as a single :class:`MergedWatch`.  Per-key
+  event order is preserved (a key lives on one shard; shard streams are
+  FIFO); cross-shard interleaving is timing-dependent, as it would be
+  against a real sharded backend.
+- **Transactions stay single-shard**: a txn whose keys map to more than
+  one shard fails with :class:`~repro.errors.StoreError` rather than
+  pretending atomicity across replicas.
+
+The frontend intentionally mirrors the :class:`~repro.store.base
+.StoreServer` / :class:`~repro.store.base.StoreClient` split so the
+Object Data Exchange can host stores on it unchanged.
+"""
+
+import zlib
+
+from repro.errors import StoreError
+from repro.store.apiserver import ApiServer, ApiServerClient
+from repro.store.base import StoreClient
+from repro.store.memkv import MemKV, MemKVClient
+
+
+def shard_index(key, shard_count):
+    """Deterministic shard for ``key`` (stable across runs and hosts)."""
+    return zlib.crc32(key.encode("utf-8")) % shard_count
+
+
+#: Typed client used per shard, by backend class.
+_SHARD_CLIENTS = {ApiServer: ApiServerClient, MemKV: MemKVClient}
+
+
+class ShardedStore:
+    """Server-side frontend: owns the shard list and fault surface."""
+
+    def __init__(self, shards, name="sharded"):
+        shards = list(shards)
+        if not shards:
+            raise StoreError("a sharded store needs at least one shard")
+        kinds = {type(shard) for shard in shards}
+        if len(kinds) > 1:
+            raise StoreError(
+                "shards must be homogeneous, got "
+                + ", ".join(sorted(k.__name__ for k in kinds))
+            )
+        self.shards = shards
+        self.name = name
+        self.env = shards[0].env
+        self.network = shards[0].network
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def location(self):
+        """Logical location of the frontend (shards have their own)."""
+        return self.name
+
+    @property
+    def shard_count(self):
+        return len(self.shards)
+
+    def shard_for(self, key):
+        return self.shards[shard_index(key, len(self.shards))]
+
+    # -- aggregated observability -------------------------------------------
+
+    @property
+    def op_counts(self):
+        merged = {}
+        for shard in self.shards:
+            for op, count in shard.op_counts.items():
+                merged[op] = merged.get(op, 0) + count
+        return merged
+
+    @property
+    def revisions(self):
+        """Per-shard revision counters (there is no global revision)."""
+        return {shard.location: shard.revision for shard in self.shards}
+
+    @property
+    def watch_messages_sent(self):
+        return sum(s.watch_messages_sent for s in self.shards)
+
+    @property
+    def watch_events_sent(self):
+        return sum(s.watch_events_sent for s in self.shards)
+
+    @property
+    def aborted_ops(self):
+        return sum(s.aborted_ops for s in self.shards)
+
+    @property
+    def crash_count(self):
+        return sum(s.crash_count for s in self.shards)
+
+    @property
+    def watch_batch_window(self):
+        return max(s.watch_batch_window for s in self.shards)
+
+    @property
+    def available(self):
+        """The frontend is available only when every shard is."""
+        return all(s.available for s in self.shards)
+
+    # -- fault surface (delegates to every shard; use .shards for one) -------
+
+    def fail_over(self):
+        return sum(s.fail_over() for s in self.shards)
+
+    def crash(self):
+        for shard in self.shards:
+            shard.crash()
+
+    def restart(self):
+        for shard in self.shards:
+            shard.restart()
+
+    def set_available(self, available):
+        for shard in self.shards:
+            shard.set_available(available)
+
+    def sever_watches(self, location=None, detect_after=None):
+        return sum(
+            s.sever_watches(location=location, detect_after=detect_after)
+            for s in self.shards
+        )
+
+
+class MergedWatch:
+    """One logical watch stream assembled from one watch per shard.
+
+    Cancellation fans out to every shard; a break on ANY shard stream
+    invalidates the whole merged stream (events from that shard would
+    silently go missing otherwise), so ``on_close`` fires exactly once
+    and the remaining shard watches are cancelled.
+    """
+
+    def __init__(self):
+        self.watches = []
+        self._closed = False
+
+    @property
+    def active(self):
+        return any(w.active for w in self.watches)
+
+    @property
+    def delivered(self):
+        return sum(w.delivered for w in self.watches)
+
+    def cancel(self):
+        for watch in self.watches:
+            watch.cancel()
+
+    def _close_once(self, on_close):
+        if self._closed:
+            return
+        self._closed = True
+        self.cancel()
+        on_close()
+
+
+class ShardedStoreClient:
+    """Client-side router: one typed client per shard, keyed by crc32.
+
+    Mirrors the :class:`~repro.store.base.StoreClient` Object surface
+    (create/get/update/patch/delete/list/txn/watch) plus the opt-in
+    hot-path optimizations, which delegate straight to the per-shard
+    clients.
+    """
+
+    def __init__(self, store, location, retry_policy=None, circuit_breaker=None):
+        self.store = store
+        self.env = store.env
+        self.location = location
+        self.retry_policy = retry_policy
+        self.circuit_breaker = circuit_breaker
+        self.clients = [
+            _SHARD_CLIENTS.get(type(shard), StoreClient)(
+                shard, location,
+                retry_policy=retry_policy, circuit_breaker=circuit_breaker,
+            )
+            for shard in store.shards
+        ]
+
+    def _client_for(self, key):
+        return self.clients[shard_index(key, len(self.clients))]
+
+    # -- single-key ops route to the owning shard ----------------------------
+
+    def create(self, key, data, labels=None):
+        return self._client_for(key).create(key, data, labels=labels)
+
+    def get(self, key):
+        return self._client_for(key).get(key)
+
+    def update(self, key, data, resource_version=None):
+        return self._client_for(key).update(
+            key, data, resource_version=resource_version
+        )
+
+    def patch(self, key, patch, resource_version=None):
+        return self._client_for(key).patch(
+            key, patch, resource_version=resource_version
+        )
+
+    def delete(self, key):
+        return self._client_for(key).delete(key)
+
+    # -- scatter/gather ------------------------------------------------------
+
+    def list(self, key_prefix=""):
+        """Fan ``list`` out to every shard; merge sorted by key."""
+        if len(self.clients) == 1:
+            return self.clients[0].list(key_prefix=key_prefix)
+        return self.env.process(self._list(key_prefix))
+
+    def _list(self, key_prefix):
+        procs = [c.list(key_prefix=key_prefix) for c in self.clients]
+        results = yield self.env.all_of(procs)
+        merged = []
+        for proc in procs:
+            merged.extend(results[proc])
+        merged.sort(key=lambda view: view["key"])
+        return merged
+
+    # -- transactions --------------------------------------------------------
+
+    def txn(self, ops):
+        """Atomic batch -- only when every key maps to ONE shard.
+
+        A cross-shard batch fails with :class:`~repro.errors.StoreError`
+        (surfaced through the returned event, like any server error):
+        shards have independent commit orders, so pretending cross-shard
+        atomicity would be a lie the failure-injection suite could catch.
+        """
+        try:
+            target = self._txn_client(ops)
+        except StoreError as exc:
+            failed = self.env.event()
+            failed.fail(exc)
+            return failed
+        return target.txn(ops)
+
+    def _txn_client(self, ops):
+        if not isinstance(ops, list) or not ops:
+            return self.clients[0]  # shard raises the canonical validation error
+        owners = {
+            shard_index(str(op.get("key") or ""), len(self.clients))
+            for op in ops
+        }
+        if len(owners) > 1:
+            raise StoreError(
+                "cross-shard transactions are not supported: keys "
+                f"{sorted(str(op.get('key')) for op in ops)} map to "
+                f"{len(owners)} shards; co-locate transactional keys"
+            )
+        return self.clients[owners.pop()]
+
+    # -- watches -------------------------------------------------------------
+
+    def watch(self, handler, key_prefix="", on_close=None, batch_handler=None):
+        """Merged, interest-filtered stream across all shards."""
+        merged = MergedWatch()
+        close = None
+        if on_close is not None:
+            close = lambda: merged._close_once(on_close)  # noqa: E731
+        for client in self.clients:
+            merged.watches.append(
+                client.watch(handler, key_prefix,
+                             on_close=close, batch_handler=batch_handler)
+            )
+        return merged
+
+    # -- opt-in hot-path optimizations (delegate per shard) ------------------
+
+    @property
+    def coalesce_writes(self):
+        return all(c.coalesce_writes for c in self.clients)
+
+    @coalesce_writes.setter
+    def coalesce_writes(self, value):
+        for client in self.clients:
+            client.coalesce_writes = bool(value)
+
+    @property
+    def patches_coalesced(self):
+        return sum(c.patches_coalesced for c in self.clients)
+
+    def enable_read_cache(self, key_prefix=""):
+        for client in self.clients:
+            client.enable_read_cache(key_prefix)
+
+    @property
+    def cache_hits(self):
+        return sum(c.cache_hits for c in self.clients)
+
+    @property
+    def cache_misses(self):
+        return sum(c.cache_misses for c in self.clients)

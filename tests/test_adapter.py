@@ -157,8 +157,8 @@ address: string
 trackingID: string # +kr: external
 """)])
         )
-        de.grant_integrator("bridge-cast", "knactor-checkout")
-        de.grant_integrator("bridge-cast", "knactor-legacy-shipping")
+        de.grant("bridge-cast", "knactor-checkout", role="integrator")
+        de.grant("bridge-cast", "knactor-legacy-shipping", role="integrator")
         cast = Cast("bridge-cast", """\
 Input:
   C: App/v1/Checkout/knactor-checkout

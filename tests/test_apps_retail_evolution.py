@@ -85,7 +85,7 @@ class TestLiveT3:
                     [StoreBinding("default", "object", SHIPPING_V2)],
                     reconciler=ShippingV2Reconciler())
         )
-        app.de.grant_integrator("retail-cast", "knactor-shipping2")
+        app.de.grant("retail-cast", "knactor-shipping2", role="integrator")
 
         # The ONLY composition change: reconfigure the running Cast.
         app.cast.reconfigure(spec=V2_DXG)

@@ -174,8 +174,8 @@ class TestVendorSwap:
         )
         new_device = LampDevice(app.env, on_energy=lambda kwh: None)
         new_reconciler.device = new_device
-        app.object_de.grant_reader("control-cast", "knactor-house")
-        app.object_de.grant_integrator("control-cast", "knactor-lamp2")
+        app.object_de.grant("control-cast", "knactor-house", role="reader")
+        app.object_de.grant("control-cast", "knactor-lamp2", role="integrator")
         # ONE integrator reconfiguration; House's code is untouched.
         app.control_cast.reconfigure(
             spec=(

@@ -74,8 +74,8 @@ class TestCastWorkers:
         runtime.add_knactor(Knactor("dst", [StoreBinding(
             "default", "object",
             "schema: A/v1/Dst/D\ncopy: number # +kr: external\n")]))
-        de.grant_integrator("c", "knactor-src")
-        de.grant_integrator("c", "knactor-dst")
+        de.grant("c", "knactor-src", role="integrator")
+        de.grant("c", "knactor-dst", role="integrator")
         cast = Cast("c", (
             "Input:\n  A: A/v1/Src/knactor-src\n  B: A/v1/Dst/knactor-dst\n"
             "DXG:\n  B:\n    copy: A.v * 2\n"

@@ -74,8 +74,8 @@ def build_runtime(env, net, backend_cls=ApiServer, pushdown=False):
             reconciler=ShippingReconciler(),
         )
     )
-    de.grant_integrator("retail-cast", "knactor-checkout")
-    de.grant_integrator("retail-cast", "knactor-shipping")
+    de.grant("retail-cast", "knactor-checkout", role="integrator")
+    de.grant("retail-cast", "knactor-shipping", role="integrator")
     cast = Cast("retail-cast", DXG, pushdown=pushdown)
     runtime.add_integrator(cast)
     runtime.start()

@@ -32,8 +32,8 @@ def build(env, window=None, where=None):
     runtime.add_knactor(Knactor("meter", [StoreBinding("log", "log", READINGS)]))
     runtime.add_knactor(Knactor("dashboard",
                                 [StoreBinding("default", "object", DASHBOARD)]))
-    log_de.grant_reader("rollup", "knactor-meter-log")
-    object_de.grant_integrator("rollup", "knactor-dashboard")
+    log_de.grant("rollup", "knactor-meter-log", role="reader")
+    object_de.grant("rollup", "knactor-dashboard", role="integrator")
     rollup = Rollup("rollup", rules=[
         RollupRule(
             source="knactor-meter-log",

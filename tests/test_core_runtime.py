@@ -131,7 +131,7 @@ class TestPolicies:
         # Window covering (almost) the whole day: every access denied.
         deny_during(de, "house", "knactor-svc", start_hour=0, end_hour=23.99,
                     seconds_per_hour=1e9)
-        handle = de.handle("knactor-svc", "house")
+        handle = de.handle("knactor-svc", principal="house")
         with pytest.raises(AccessDeniedError):
             call(handle.get("x"))
 

@@ -31,8 +31,8 @@ def build_runtime(env, net, at_source=True, pipeline=None):
     runtime.add_knactor(
         Knactor("house", [StoreBinding("log", "log", HOUSE)])
     )
-    de.grant_integrator("home-sync", "knactor-motion-log")
-    de.grant_integrator("home-sync", "knactor-house-log")
+    de.grant("home-sync", "knactor-motion-log", role="integrator")
+    de.grant("home-sync", "knactor-house-log", role="integrator")
     if pipeline is None:
         pipeline = (
             Pipeline()

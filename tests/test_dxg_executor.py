@@ -51,15 +51,15 @@ def setup(env, zero_net):
     de = ObjectDE(env, backend)
     de.host_store("knactor-checkout", CHECKOUT, owner="checkout")
     de.host_store("knactor-shipping", SHIPPING, owner="shipping")
-    de.grant_integrator("cast", "knactor-checkout")
-    de.grant_integrator("cast", "knactor-shipping")
+    de.grant("cast", "knactor-checkout", role="integrator")
+    de.grant("cast", "knactor-shipping", role="integrator")
     spec = parse_dxg(DXG)
     executor = DXGExecutor(
         env,
         spec,
         handles={
-            "C": de.handle("knactor-checkout", "cast"),
-            "S": de.handle("knactor-shipping", "cast"),
+            "C": de.handle("knactor-checkout", principal="cast"),
+            "S": de.handle("knactor-shipping", principal="cast"),
         },
     )
     return de, executor
@@ -77,11 +77,11 @@ def make_order(cost=100, currency="USD"):
 class TestExchange:
     def test_creates_shipment_from_order(self, env, setup, call):
         de, executor = setup
-        checkout = de.handle("knactor-checkout", "checkout")
+        checkout = de.handle("knactor-checkout", principal="checkout")
         call(checkout.create("order/o1", make_order()))
         stats = call(executor.exchange("o1"))
         assert stats.creates == 1
-        shipping = de.handle("knactor-shipping", "shipping")
+        shipping = de.handle("knactor-shipping", principal="shipping")
         shipment = call(shipping.get("o1"))["data"]
         assert shipment["items"] == ["mug", "pen"]
         assert shipment["addr"] == "12 Elm St"
@@ -89,16 +89,16 @@ class TestExchange:
 
     def test_conditional_policy_air_over_1000(self, env, setup, call):
         de, executor = setup
-        checkout = de.handle("knactor-checkout", "checkout")
+        checkout = de.handle("knactor-checkout", principal="checkout")
         call(checkout.create("order/o1", make_order(cost=1500)))
         call(executor.exchange("o1"))
-        shipping = de.handle("knactor-shipping", "shipping")
+        shipping = de.handle("knactor-shipping", principal="shipping")
         assert call(shipping.get("o1"))["data"]["method"] == "air"
 
     def test_backfill_after_reconciler_fills_quote(self, env, setup, call):
         de, executor = setup
-        checkout = de.handle("knactor-checkout", "checkout")
-        shipping = de.handle("knactor-shipping", "shipping")
+        checkout = de.handle("knactor-checkout", principal="checkout")
+        shipping = de.handle("knactor-shipping", principal="shipping")
         call(checkout.create("order/o1", make_order(currency="USD")))
         call(executor.exchange("o1"))
         # Order not yet filled: quote/id missing on the shipment.
@@ -117,7 +117,7 @@ class TestExchange:
 
     def test_idempotent_on_unchanged_sources(self, env, setup, call):
         de, executor = setup
-        checkout = de.handle("knactor-checkout", "checkout")
+        checkout = de.handle("knactor-checkout", principal="checkout")
         call(checkout.create("order/o1", make_order()))
         call(executor.exchange("o1"))
         stats = call(executor.exchange("o1"))
@@ -132,21 +132,21 @@ class TestExchange:
     def test_patch_only_target_never_created(self, env, setup, call):
         """The integrator must not create orders (C.order is patch-only)."""
         de, executor = setup
-        shipping = de.handle("knactor-shipping", "shipping")
+        shipping = de.handle("knactor-shipping", principal="shipping")
         call(shipping.create("s-lonely", {"id": "trk-1"}))
         call(executor.exchange("s-lonely"))
-        checkout = de.handle("knactor-checkout", "checkout")
+        checkout = de.handle("knactor-checkout", principal="checkout")
         views = call(checkout.list())
         assert views == []
 
     def test_source_update_propagates_on_reexchange(self, env, setup, call):
         de, executor = setup
-        checkout = de.handle("knactor-checkout", "checkout")
+        checkout = de.handle("knactor-checkout", principal="checkout")
         call(checkout.create("order/o1", make_order(cost=100)))
         call(executor.exchange("o1"))
         call(checkout.patch("order/o1", {"cost": 2000}))
         call(executor.exchange("o1"))
-        shipping = de.handle("knactor-shipping", "shipping")
+        shipping = de.handle("knactor-shipping", principal="shipping")
         assert call(shipping.get("o1"))["data"]["method"] == "air"
 
 
@@ -156,9 +156,9 @@ class TestOptions:
         de = ObjectDE(env, backend)
         de.host_store("knactor-checkout", CHECKOUT, owner="checkout")
         de.host_store("knactor-shipping", SHIPPING, owner="shipping")
-        de.grant_integrator("cast", "knactor-checkout")
-        de.grant_integrator("cast", "knactor-shipping")
-        checkout = de.handle("knactor-checkout", "checkout")
+        de.grant("cast", "knactor-checkout", role="integrator")
+        de.grant("cast", "knactor-shipping", role="integrator")
+        checkout = de.handle("knactor-checkout", principal="checkout")
         call(checkout.create("order/o1", make_order()))
 
         def run_with(consolidate):
@@ -166,8 +166,8 @@ class TestOptions:
                 env,
                 parse_dxg(DXG),
                 handles={
-                    "C": de.handle("knactor-checkout", "cast"),
-                    "S": de.handle("knactor-shipping", "cast"),
+                    "C": de.handle("knactor-checkout", principal="cast"),
+                    "S": de.handle("knactor-shipping", principal="cast"),
                 },
                 options=ExecutorOptions(consolidate=consolidate),
             )
@@ -176,7 +176,7 @@ class TestOptions:
         consolidated = run_with(True)
         stats_c = call(consolidated.exchange("o1"))
         # Reset the shipment for a fair comparison.
-        shipping = de.handle("knactor-shipping", "shipping")
+        shipping = de.handle("knactor-shipping", principal="shipping")
         call(shipping.delete("o1"))
         unconsolidated = run_with(False)
         stats_u = call(unconsolidated.exchange("o1"))
@@ -208,28 +208,28 @@ class TestPushdown:
         de = ObjectDE(env, backend)
         de.host_store("knactor-checkout", CHECKOUT, owner="checkout")
         de.host_store("knactor-shipping", SHIPPING, owner="shipping")
-        de.grant_integrator("cast", "knactor-checkout")
-        de.grant_integrator("cast", "knactor-shipping")
+        de.grant("cast", "knactor-checkout", role="integrator")
+        de.grant("cast", "knactor-shipping", role="integrator")
         executor = DXGExecutor(
             env,
             parse_dxg(DXG),
             handles={
-                "C": de.handle("knactor-checkout", "cast"),
-                "S": de.handle("knactor-shipping", "cast"),
+                "C": de.handle("knactor-checkout", principal="cast"),
+                "S": de.handle("knactor-shipping", principal="cast"),
             },
         )
         udf = executor.as_udf(
             {"C": "knactor-checkout/", "S": "knactor-shipping/"}
         )
         backend.functions.register("dxg", udf, cost=executor.udf_cost)
-        checkout = de.handle("knactor-checkout", "checkout")
+        checkout = de.handle("knactor-checkout", principal="checkout")
         call(checkout.create("order/o1", make_order(cost=1500)))
         from repro.store import MemKVClient
 
         kv = MemKVClient(backend, location="cast")
         result = call(kv.fcall("dxg", "o1"))
         assert result["writes"] >= 1
-        shipping = de.handle("knactor-shipping", "shipping")
+        shipping = de.handle("knactor-shipping", principal="shipping")
         shipment = call(shipping.get("o1"))["data"]
         assert shipment["method"] == "air"
         assert shipment["items"] == ["mug", "pen"]

@@ -69,8 +69,8 @@ def build(env):
         "default", "object", ORDER_SCHEMA)]))
     runtime.add_knactor(Knactor("rates", [StoreBinding(
         "default", "object", RATES_SCHEMA)]))
-    de.grant_integrator("fx-cast", "knactor-orders")
-    de.grant_reader("fx-cast", "knactor-rates")
+    de.grant("fx-cast", "knactor-orders", role="integrator")
+    de.grant("fx-cast", "knactor-rates", role="reader")
     cast = Cast("fx-cast", DXG)
     runtime.add_integrator(cast)
     runtime.start()

@@ -1,0 +1,209 @@
+"""Tests for the unified exchange-handle API and its deprecation shims.
+
+``DataExchange.handle()`` and ``DataExchange.grant()`` are the single
+entry points across Object and Log exchanges; the pre-unification forms
+(positional ``handle(store, principal)``, positional ``grant`` verbs,
+``grant_integrator`` / ``grant_reader``) keep working but warn exactly
+once per process.
+"""
+
+import warnings
+
+import pytest
+
+from repro.exchange import LogDE, ObjectDE, StoreHandle
+from repro.exchange.base import _reset_deprecation_warnings
+from repro.exchange.log_de import LogStoreHandle
+from repro.exchange.object_de import ObjectStoreHandle
+from repro.faults import RetryPolicy
+from repro.store import ApiServer, LogLake
+
+ORDER_SCHEMA = """\
+schema: OnlineRetail/v1/Checkout/Order
+items: object
+status: string
+trackingID: string # +kr: external
+"""
+
+READINGS_SCHEMA = """\
+schema: SmartHome/v1/House/Readings
+kwh: number # +kr: ingest
+note: string
+"""
+
+
+@pytest.fixture(autouse=True)
+def fresh_warning_registry():
+    """Each test observes the warn-once behavior from a clean slate."""
+    _reset_deprecation_warnings()
+    yield
+    _reset_deprecation_warnings()
+
+
+@pytest.fixture
+def object_de(env, zero_net):
+    de = ObjectDE(env, ApiServer(env, zero_net, watch_overhead=0.0))
+    de.host_store("knactor-checkout", ORDER_SCHEMA, owner="checkout")
+    return de
+
+
+@pytest.fixture
+def log_de(env, zero_net):
+    de = LogDE(env, LogLake(env, zero_net, watch_overhead=0.0))
+    de.host_store("house-log", READINGS_SCHEMA, owner="house")
+    return de
+
+
+class TestUnifiedHandle:
+    def test_handles_share_the_store_handle_protocol(self, object_de, log_de):
+        obj = object_de.handle("knactor-checkout", principal="checkout")
+        log = log_de.handle("house-log", principal="house")
+        assert isinstance(obj, ObjectStoreHandle) and isinstance(obj, StoreHandle)
+        assert isinstance(log, LogStoreHandle) and isinstance(log, StoreHandle)
+        assert obj.store_name == "knactor-checkout"
+        assert log.store_name == "house-log"
+        assert str(obj.schema.name) == "OnlineRetail/v1/Checkout/Order"
+
+    def test_location_defaults_to_principal(self, object_de):
+        handle = object_de.handle("knactor-checkout", principal="checkout")
+        assert handle.client.location == "checkout"
+        placed = object_de.handle(
+            "knactor-checkout", principal="checkout", location="edge-pop-1"
+        )
+        assert placed.client.location == "edge-pop-1"
+
+    def test_principal_is_required(self, object_de):
+        with pytest.raises(TypeError, match="principal"):
+            object_de.handle("knactor-checkout")
+
+    def test_per_handle_retry_policy_overrides_de_default(self, env, zero_net):
+        de_policy = RetryPolicy(max_attempts=2)
+        handle_policy = RetryPolicy(max_attempts=7)
+        de = ObjectDE(
+            env, ApiServer(env, zero_net, watch_overhead=0.0),
+            retry_policy=de_policy,
+        )
+        de.host_store("knactor-checkout", ORDER_SCHEMA, owner="checkout")
+        default = de.handle("knactor-checkout", principal="checkout")
+        assert default.client.retry_policy is de_policy
+        tuned = de.handle(
+            "knactor-checkout", principal="checkout",
+            retry_policy=handle_policy,
+        )
+        assert tuned.client.retry_policy is handle_policy
+
+    def test_unified_handle_works_end_to_end(self, object_de, call, env):
+        owner = object_de.handle("knactor-checkout", principal="checkout")
+        call(owner.create("o1", {"items": {}, "status": "placed"}))
+        assert call(owner.get("o1"))["data"]["status"] == "placed"
+        object_de.grant("viewer", "knactor-checkout", role="reader")
+        seen = []
+        reader = object_de.handle("knactor-checkout", principal="viewer")
+        reader.watch(lambda e: seen.append(e.key))
+        call(owner.patch("o1", {"status": "fulfilled"}))
+        env.run()
+        assert seen == ["o1"]
+
+
+class TestUnifiedGrant:
+    def test_role_grant_matches_legacy_integrator_grant(self, object_de):
+        _reset_deprecation_warnings()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = object_de.grant_integrator("cast-a", "knactor-checkout")
+        modern = object_de.grant("cast-b", "knactor-checkout", role="integrator")
+        assert legacy.verbs == modern.verbs
+        assert legacy.write_fields == modern.write_fields
+
+    def test_reader_role_is_read_only(self, object_de, call):
+        object_de.grant("viewer", "knactor-checkout", role="reader")
+        grant = object_de.grants[-1]
+        assert grant.verbs == frozenset({"get", "list", "watch"})
+        assert grant.write_fields == ()
+
+    def test_unknown_role_rejected(self, object_de):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="role"):
+            object_de.grant("x", "knactor-checkout", role="superuser")
+
+    def test_explicit_verbs_bypass_role_dispatch(self, object_de):
+        grant = object_de.grant(
+            "auditor", "knactor-checkout",
+            verbs={"get", "list"}, note="audit only",
+        )
+        assert grant.verbs == frozenset({"get", "list"})
+        assert grant.note == "audit only"
+
+    def test_log_de_roles(self, log_de):
+        integrator = log_de.grant("sync", "house-log", role="integrator")
+        reader = log_de.grant("viewer", "house-log", role="reader")
+        assert "load" in integrator.verbs
+        assert reader.verbs == frozenset({"query", "watch"})
+
+
+class TestDeprecationShims:
+    def test_positional_handle_works_and_warns_once(self, object_de):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            first = object_de.handle("knactor-checkout", "checkout")
+            second = object_de.handle("knactor-checkout", "checkout", "edge")
+        assert isinstance(first, StoreHandle)
+        assert second.client.location == "edge"
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "handle(store_name, principal=" in str(deprecations[0].message)
+
+    def test_positional_grant_works_and_warns_once(self, object_de):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            one = object_de.grant("a", "knactor-checkout", {"get", "list"})
+            two = object_de.grant("b", "knactor-checkout", {"get"}, ())
+        assert one.verbs == frozenset({"get", "list"})
+        assert two.verbs == frozenset({"get"})
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+
+    def test_grant_aliases_warn_once_each(self, object_de):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            object_de.grant_integrator("a", "knactor-checkout")
+            object_de.grant_integrator("b", "knactor-checkout")
+            object_de.grant_reader("c", "knactor-checkout")
+            object_de.grant_reader("d", "knactor-checkout")
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 2  # one per alias, not per call
+
+    def test_reset_hook_rearms_the_warning(self, object_de):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            object_de.handle("knactor-checkout", "checkout")
+            _reset_deprecation_warnings()
+            object_de.handle("knactor-checkout", "checkout")
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 2
+
+    def test_too_many_positionals_still_a_type_error(self, object_de):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(TypeError):
+                object_de.handle("knactor-checkout", "p", "loc", "extra")
+
+    def test_in_repo_callers_are_warning_free(self):
+        """The whole migrated retail app builds without one deprecation."""
+        from repro.apps.retail.knactor_app import RetailKnactorApp
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            RetailKnactorApp.build()
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]

@@ -63,7 +63,7 @@ class TestOwnerAccess:
 
 class TestIntegratorAccess:
     def test_integrator_loads_ingest_fields_only(self, de, call):
-        de.grant_integrator("sync", "house-log")
+        de.grant("sync", "house-log", role="integrator")
         handle = de.handle("house-log", principal="sync")
         call(handle.load([{"kwh": 1.5, "motion": True}]))
         with pytest.raises(AccessDeniedError):
@@ -72,7 +72,7 @@ class TestIntegratorAccess:
     def test_integrator_can_query_source(self, de, call):
         motion_owner = de.handle("motion-log", principal="motion")
         call(motion_owner.load([{"triggered": True}]))
-        de.grant_integrator("sync", "motion-log")
+        de.grant("sync", "motion-log", role="integrator")
         handle = de.handle("motion-log", principal="sync")
         rows = call(handle.query(ops=[{"op": "filter", "expr": "triggered == True"}]))
         assert len(rows) == 1
@@ -83,7 +83,7 @@ class TestIntegratorAccess:
             call(handle.query())
 
     def test_reader_grant_cannot_load(self, de, call):
-        de.grant_reader("viewer", "motion-log")
+        de.grant("viewer", "motion-log", role="reader")
         handle = de.handle("motion-log", principal="viewer")
         with pytest.raises(AccessDeniedError):
             call(handle.load([{"triggered": True}]))

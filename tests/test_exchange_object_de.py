@@ -63,7 +63,7 @@ class TestHosting:
         assert not de.supports_udf
 
     def test_describe_mentions_stores_and_grants(self, de):
-        de.grant_integrator("intg", "knactor-checkout")
+        de.grant("intg", "knactor-checkout", role="integrator")
         text = de.describe()
         assert "knactor-checkout" in text and "intg" in text
 
@@ -102,7 +102,7 @@ class TestOwnerAccess:
 
 class TestIntegratorAccess:
     def test_integrator_grant_allows_external_fields_only(self, de, owner, call):
-        de.grant_integrator("intg", "knactor-checkout")
+        de.grant("intg", "knactor-checkout", role="integrator")
         handle = de.handle("knactor-checkout", principal="intg")
         call(owner.create("o1", {"cost": 10}))
         call(handle.patch("o1", {"shippingCost": 4.5, "trackingID": "t-1"}))
@@ -115,14 +115,14 @@ class TestIntegratorAccess:
             call(handle.get("o1"))
 
     def test_integrator_cannot_delete(self, de, owner, call):
-        de.grant_integrator("intg", "knactor-checkout")
+        de.grant("intg", "knactor-checkout", role="integrator")
         handle = de.handle("knactor-checkout", principal="intg")
         call(owner.create("o1", {"cost": 10}))
         with pytest.raises(AccessDeniedError):
             call(handle.delete("o1"))
 
     def test_secret_masked_for_integrator(self, de, owner, call):
-        de.grant_integrator("intg", "knactor-checkout")
+        de.grant("intg", "knactor-checkout", role="integrator")
         handle = de.handle("knactor-checkout", principal="intg")
         call(owner.create("o1", {"cost": 10, "cardToken": "tok-1"}))
         view = call(handle.get("o1"))
@@ -141,7 +141,7 @@ class TestIntegratorAccess:
         assert call(handle.get("o1"))["data"]["cardToken"] == "tok-1"
 
     def test_reader_grant_is_read_only(self, de, owner, call):
-        de.grant_reader("viewer", "knactor-checkout")
+        de.grant("viewer", "knactor-checkout", role="reader")
         handle = de.handle("knactor-checkout", principal="viewer")
         call(owner.create("o1", {"cost": 10}))
         assert call(handle.get("o1"))["data"]["cost"] == 10
@@ -151,7 +151,7 @@ class TestIntegratorAccess:
 
 class TestWatch:
     def test_watch_events_masked_and_key_relative(self, env, de, owner, call):
-        de.grant_integrator("intg", "knactor-checkout")
+        de.grant("intg", "knactor-checkout", role="integrator")
         handle = de.handle("knactor-checkout", principal="intg")
         events = []
         handle.watch(events.append)

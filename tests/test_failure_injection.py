@@ -59,8 +59,8 @@ class TestConcurrentWriters:
             Knactor("a", [StoreBinding("default", "object", SCHEMA_A)],
                     reconciler=CounterReconciler())
         )
-        de.grant_integrator("annotator", "knactor-a")
-        annotator = de.handle("knactor-a", "annotator")
+        de.grant("annotator", "knactor-a", role="integrator")
+        annotator = de.handle("knactor-a", principal="annotator")
         runtime.start()
         owner = runtime.handle_of("a")
         env.run(until=owner.create("x", {"counter": 0}))
@@ -89,21 +89,21 @@ class TestSlowAndLossyConditions:
             "schema: App/v1/B/Obj\ncopy: number # +kr: external\n",
             owner="b",
         )
-        de.grant_integrator("cast", "knactor-a")
-        de.grant_integrator("cast", "knactor-b")
+        de.grant("cast", "knactor-a", role="integrator")
+        de.grant("cast", "knactor-b", role="integrator")
         executor = DXGExecutor(
             env,
             parse_dxg(
                 "Input:\n  A: App/v1/A/knactor-a\n  B: App/v1/B/knactor-b\n"
                 "DXG:\n  B:\n    copy: A.counter * 10\n"
             ),
-            handles={"A": de.handle("knactor-a", "cast"),
-                     "B": de.handle("knactor-b", "cast")},
+            handles={"A": de.handle("knactor-a", principal="cast"),
+                     "B": de.handle("knactor-b", principal="cast")},
         )
-        owner = de.handle("knactor-a", "a")
+        owner = de.handle("knactor-a", principal="a")
         env.run(until=owner.create("x", {"counter": 7}))
         env.run(until=executor.exchange("x"))
-        reader = de.handle("knactor-b", "b")
+        reader = de.handle("knactor-b", principal="b")
         assert env.run(until=reader.get("x"))["data"]["copy"] == 70
 
     def test_reconciler_retry_exhaustion_requeues(self, env, zero_net):

@@ -402,8 +402,8 @@ class TestTransactionAtomicityUnderCrash:
             env.run(until=commit)
         backend.restart()
         env.run()
-        for handle in (de.handle("store-x", "owner"),
-                       de.handle("store-y", "owner")):
+        for handle in (de.handle("store-x", principal="owner"),
+                       de.handle("store-y", principal="owner")):
             with pytest.raises(NotFoundError):
                 env.run(until=handle.get("k"))
 
@@ -431,6 +431,6 @@ class TestTransactionAtomicityUnderCrash:
         views = env.run(until=commit)  # the retry wrapper rode through
         assert len(views) == 2
         assert policy.retries >= 1
-        x = env.run(until=de.handle("store-x", "owner").get("k"))
-        y = env.run(until=de.handle("store-y", "owner").get("k"))
+        x = env.run(until=de.handle("store-x", principal="owner").get("k"))
+        y = env.run(until=de.handle("store-y", principal="owner").get("k"))
         assert (x["data"], y["data"]) == ({"value": 1}, {"value": 2})

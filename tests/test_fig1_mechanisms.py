@@ -108,8 +108,8 @@ def test_knactor_mechanism(env, net):
         "schema: Home/v1/Display/Panel\ntext: string # +kr: external\n",
     )]))
     # NO coupling: the mapping lives in a third module.
-    de.grant_reader("cast", "knactor-thermostat")
-    de.grant_integrator("cast", "knactor-display")
+    de.grant("cast", "knactor-thermostat", role="reader")
+    de.grant("cast", "knactor-display", role="integrator")
     runtime.add_integrator(Cast("cast", (
         "Input:\n"
         "  T: Home/v1/Thermostat/knactor-thermostat\n"
@@ -141,8 +141,8 @@ def test_only_knactor_reconfigures_without_touching_services(env, net):
         "default", "object",
         "schema: Home/v1/Display/Panel\ntext: string # +kr: external\n",
     )]))
-    de.grant_reader("cast", "knactor-thermostat")
-    de.grant_integrator("cast", "knactor-display")
+    de.grant("cast", "knactor-thermostat", role="reader")
+    de.grant("cast", "knactor-display", role="integrator")
     cast = Cast("cast", (
         "Input:\n"
         "  T: Home/v1/Thermostat/knactor-thermostat\n"

@@ -42,10 +42,10 @@ class TestChain:
         runtime.add_knactor(Knactor("c", [StoreBinding(
             "default", "object",
             schema("C", ["final: number # +kr: external"]))]))
-        de.grant_reader("cast1", "knactor-a")
-        de.grant_integrator("cast1", "knactor-b")
-        de.grant_reader("cast2", "knactor-b")
-        de.grant_integrator("cast2", "knactor-c")
+        de.grant("cast1", "knactor-a", role="reader")
+        de.grant("cast1", "knactor-b", role="integrator")
+        de.grant("cast2", "knactor-b", role="reader")
+        de.grant("cast2", "knactor-c", role="integrator")
         runtime.add_integrator(Cast("cast1", (
             "Input:\n  A: Chain/v1/A/knactor-a\n  B: Chain/v1/B/knactor-b\n"
             "DXG:\n  B:\n    doubled: A.v * 2\n"
@@ -71,10 +71,10 @@ class TestChain:
         runtime.add_knactor(Knactor("c", [StoreBinding(
             "default", "object",
             schema("C", ["final: number # +kr: external"]))]))
-        de.grant_reader("cast1", "knactor-a")
-        de.grant_integrator("cast1", "knactor-b")
-        de.grant_reader("cast2", "knactor-b")
-        de.grant_integrator("cast2", "knactor-c")
+        de.grant("cast1", "knactor-a", role="reader")
+        de.grant("cast1", "knactor-b", role="integrator")
+        de.grant("cast2", "knactor-b", role="reader")
+        de.grant("cast2", "knactor-c", role="integrator")
         runtime.add_integrator(Cast("cast1", (
             "Input:\n  A: Chain/v1/A/knactor-a\n  B: Chain/v1/B/knactor-b\n"
             "DXG:\n  B:\n    doubled: A.v * 2\n"
@@ -106,10 +106,10 @@ class TestFanIn:
             "default", "object",
             schema("Sink", ["fromx: number # +kr: external",
                             "fromy: number # +kr: external"]))]))
-        de.grant_reader("cx", "knactor-src1")
-        de.grant_integrator("cx", "knactor-sink")
-        de.grant_reader("cy", "knactor-src2")
-        de.grant_integrator("cy", "knactor-sink")
+        de.grant("cx", "knactor-src1", role="reader")
+        de.grant("cx", "knactor-sink", role="integrator")
+        de.grant("cy", "knactor-src2", role="reader")
+        de.grant("cy", "knactor-sink", role="integrator")
         runtime.add_integrator(Cast("cx", (
             "Input:\n  A: Chain/v1/Src1/knactor-src1\n"
             "  S: Chain/v1/Sink/knactor-sink\n"
@@ -136,8 +136,8 @@ class TestFanIn:
         runtime.add_knactor(Knactor("sink", [StoreBinding(
             "default", "object",
             schema("Sink", ["fromx: number # +kr: external"]))]))
-        de.grant_reader("cx", "knactor-src1")
-        de.grant_integrator("cx", "knactor-sink")
+        de.grant("cx", "knactor-src1", role="reader")
+        de.grant("cx", "knactor-sink", role="integrator")
         cast = Cast("cx", (
             "Input:\n  A: Chain/v1/Src1/knactor-src1\n"
             "  S: Chain/v1/Sink/knactor-sink\n"

@@ -45,12 +45,12 @@ def _setup(spec):
     )
     de.host_store("knactor-a", source_schema + "\n", owner="a")
     de.host_store("knactor-b", target_schema + "\n", owner="b")
-    de.grant_integrator("cast", "knactor-a")
-    de.grant_integrator("cast", "knactor-b")
+    de.grant("cast", "knactor-a", role="integrator")
+    de.grant("cast", "knactor-b", role="integrator")
     executor = DXGExecutor(
         env, spec,
-        handles={"A": de.handle("knactor-a", "cast"),
-                 "B": de.handle("knactor-b", "cast")},
+        handles={"A": de.handle("knactor-a", principal="cast"),
+                 "B": de.handle("knactor-b", principal="cast")},
     )
     return env, de, executor
 
@@ -63,7 +63,7 @@ class TestDXGProperties:
     def test_acyclic_dxg_quiesces_and_is_idempotent(self, spec, values):
         assert analyze(spec).ok
         env, de, executor = _setup(spec)
-        owner = de.handle("knactor-a", "a")
+        owner = de.handle("knactor-a", principal="a")
         env.run(until=owner.create("x", {f"f{i}": v for i, v in enumerate(values)}))
         first = env.run(until=executor.exchange("x"))
         assert first.passes <= executor.options.max_passes
@@ -77,10 +77,10 @@ class TestDXGProperties:
                            min_size=5, max_size=5))
     def test_computed_values_match_semantics(self, spec, values):
         env, de, executor = _setup(spec)
-        owner = de.handle("knactor-a", "a")
+        owner = de.handle("knactor-a", principal="a")
         env.run(until=owner.create("x", {f"f{i}": v for i, v in enumerate(values)}))
         env.run(until=executor.exchange("x"))
-        reader = de.handle("knactor-b", "b")
+        reader = de.handle("knactor-b", principal="b")
         target = env.run(until=reader.get("x"))["data"]
         for assignment in spec.assignments:
             expected = assignment.expression.evaluate(

@@ -1,0 +1,127 @@
+"""Property test: watch batching is observably invisible.
+
+For any seeded random workload against a sharded store, running with
+``watch_batch_window > 0`` versus ``0`` must be indistinguishable to
+every observer:
+
+- the final store state is **byte-identical** (the JSON dump of the full
+  scatter-gather ``list``, revisions and timestamps included -- the
+  drivers are delivery-independent, so even commit times must agree);
+- every watcher sees the **identical per-key event sequence** (type and
+  revision), because batching may merge deliveries into fewer messages
+  but must never reorder or drop events for a key;
+- the same number of events travels in strictly fewer messages.
+
+The drivers here issue writes on their own clock (they never react to
+watch deliveries), which is what makes full event-order identity a hard
+invariant; app-level feedback loops are exercised by the shard-scaling
+benchmark instead.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.simnet import Environment, FixedLatency, Network
+from repro.store import MemKV, ShardedStore, ShardedStoreClient
+
+SHARDS = 3
+KEYS = [f"k/{i}" for i in range(8)]
+WAVES = 10
+WAVE_WIDTH = 4
+BATCH_WINDOW = 0.01
+
+
+def build_workload(seed):
+    """A deterministic op schedule: waves of concurrent distinct-key ops."""
+    rng = random.Random(seed)
+    exists = set()
+    waves = []
+    for wave_index in range(WAVES):
+        wave = []
+        for key in rng.sample(KEYS, WAVE_WIDTH):
+            marker = wave_index * WAVE_WIDTH + len(wave)
+            if key not in exists:
+                wave.append(("create", key, {"v": marker}))
+                exists.add(key)
+            else:
+                kind = rng.choice(("update", "patch", "delete"))
+                if kind == "delete":
+                    wave.append(("delete", key, None))
+                    exists.discard(key)
+                elif kind == "update":
+                    wave.append(("update", key, {"v": marker}))
+                else:
+                    wave.append(("patch", key, {"p": marker}))
+        waves.append(wave)
+    return waves
+
+
+def run_case(seed, batch_window, watchers=4):
+    env = Environment()
+    net = Network(env, default_latency=FixedLatency(0.0005))
+    shards = [
+        MemKV(env, net, location=f"shard-{i}", watch_batch_window=batch_window)
+        for i in range(SHARDS)
+    ]
+    store = ShardedStore(shards, name="kv")
+    driver = ShardedStoreClient(store, "driver")
+
+    observed = {}  # watcher index -> key -> [(type, revision), ...]
+    for index in range(watchers):
+        seen = observed.setdefault(index, {})
+
+        def record(event, seen=seen):
+            seen.setdefault(event.key, []).append((event.type, event.revision))
+
+        ShardedStoreClient(store, f"watcher-{index}").watch(record)
+
+    def drive(env):
+        for wave in build_workload(seed):
+            inflight = []
+            for op, key, payload in wave:
+                if op == "create":
+                    inflight.append(driver.create(key, payload))
+                elif op == "update":
+                    inflight.append(driver.update(key, payload))
+                elif op == "patch":
+                    inflight.append(driver.patch(key, payload))
+                else:
+                    inflight.append(driver.delete(key))
+            yield env.all_of(inflight)
+
+    env.run(until=env.process(drive(env)))
+    env.run()  # drain every buffered flush and delivery
+
+    state = json.dumps(env.run(until=driver.list()), sort_keys=True)
+    return {
+        "state": state,
+        "observed": observed,
+        "messages": store.watch_messages_sent,
+        "events": store.watch_events_sent,
+    }
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+def test_batching_is_observably_invisible(seed):
+    plain = run_case(seed, batch_window=0.0)
+    batched = run_case(seed, batch_window=BATCH_WINDOW)
+
+    # Byte-identical final state, including revisions and timestamps.
+    assert plain["state"] == batched["state"]
+    # Identical per-key event order for every watcher.
+    assert plain["observed"] == batched["observed"]
+    # Same events, strictly fewer network messages.
+    assert plain["events"] == batched["events"]
+    assert batched["messages"] < plain["messages"]
+
+
+@pytest.mark.parametrize("seed", [1, 2])
+def test_workload_is_deterministic(seed):
+    assert build_workload(seed) == build_workload(seed)
+    one = run_case(seed, batch_window=BATCH_WINDOW)
+    two = run_case(seed, batch_window=BATCH_WINDOW)
+    assert one["state"] == two["state"]
+    assert one["observed"] == two["observed"]
+    assert one["messages"] == two["messages"]

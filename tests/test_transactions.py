@@ -148,14 +148,14 @@ def de(env, zero_net):
     exchange = ObjectDE(env, ApiServer(env, zero_net, watch_overhead=0.0))
     exchange.host_store("knactor-checkout", ORDER_SCHEMA, owner="checkout")
     exchange.host_store("knactor-shipping", SHIPMENT_SCHEMA, owner="shipping")
-    exchange.grant_integrator("cast", "knactor-checkout")
-    exchange.grant_integrator("cast", "knactor-shipping")
+    exchange.grant("cast", "knactor-checkout", role="integrator")
+    exchange.grant("cast", "knactor-shipping", role="integrator")
     return exchange
 
 
 class TestDETransaction:
     def test_cross_store_atomic_commit(self, de, call):
-        checkout = de.handle("knactor-checkout", "checkout")
+        checkout = de.handle("knactor-checkout", principal="checkout")
         call(checkout.create("o1", {"cost": 10}))
         txn = de.transaction("cast")
         txn.patch("knactor-checkout", "o1", {"trackingID": "trk-1"})
@@ -163,7 +163,7 @@ class TestDETransaction:
         views = call(txn.commit())
         assert len(views) == 2
         assert call(checkout.get("o1"))["data"]["trackingID"] == "trk-1"
-        shipping = de.handle("knactor-shipping", "shipping")
+        shipping = de.handle("knactor-shipping", principal="shipping")
         assert call(shipping.get("o1"))["data"]["addr"] == "12 Elm St"
 
     def test_acl_enforced_per_operation(self, de):
@@ -190,7 +190,7 @@ class TestDETransaction:
             txn.commit()
 
     def test_failed_txn_leaves_no_partial_state(self, de, call):
-        shipping = de.handle("knactor-shipping", "shipping")
+        shipping = de.handle("knactor-shipping", principal="shipping")
         call(shipping.create("dup", {"internal": "x"}))
         txn = de.transaction("cast")
         txn.patch("knactor-checkout", "ghost", {"trackingID": "t"})  # missing
@@ -209,8 +209,8 @@ class TestTransactionalExecutor:
         de = ObjectDE(env, ApiServer(env, zero_net, watch_overhead=0.0))
         de.host_store("knactor-checkout", ORDER_SCHEMA, owner="checkout")
         de.host_store("knactor-shipping", SHIPMENT_SCHEMA, owner="shipping")
-        de.grant_integrator("cast", "knactor-checkout")
-        de.grant_integrator("cast", "knactor-shipping")
+        de.grant("cast", "knactor-checkout", role="integrator")
+        de.grant("cast", "knactor-shipping", role="integrator")
         dxg = (
             "Input:\n"
             "  C: App/v1/Checkout/knactor-checkout\n"
@@ -223,8 +223,8 @@ class TestTransactionalExecutor:
         )
         executor = DXGExecutor(
             env, parse_dxg(dxg),
-            handles={"C": de.handle("knactor-checkout", "cast"),
-                     "S": de.handle("knactor-shipping", "cast")},
+            handles={"C": de.handle("knactor-checkout", principal="cast"),
+                     "S": de.handle("knactor-shipping", principal="cast")},
             options=ExecutorOptions(transactional=transactional),
         )
         return de, executor
@@ -233,10 +233,10 @@ class TestTransactionalExecutor:
         final = {}
         for transactional in (False, True):
             de, executor = self.build(env, zero_net, transactional)
-            checkout = de.handle("knactor-checkout", "checkout")
+            checkout = de.handle("knactor-checkout", principal="checkout")
             call(checkout.create(f"o-{transactional}", {"cost": 42}))
             call(executor.exchange(f"o-{transactional}"))
-            shipping = de.handle("knactor-shipping", "shipping")
+            shipping = de.handle("knactor-shipping", principal="shipping")
             final[transactional] = call(
                 shipping.get(f"o-{transactional}")
             )["data"]
@@ -244,7 +244,7 @@ class TestTransactionalExecutor:
 
     def test_one_commit_per_pass(self, env, zero_net, call):
         de, executor = self.build(env, zero_net, transactional=True)
-        checkout = de.handle("knactor-checkout", "checkout")
+        checkout = de.handle("knactor-checkout", principal="checkout")
         call(checkout.create("o1", {"cost": 42}))
         stats = call(executor.exchange("o1"))
         assert stats.writes == 1  # the shipment create, one atomic commit
@@ -252,7 +252,7 @@ class TestTransactionalExecutor:
 
     def test_transactional_idempotent(self, env, zero_net, call):
         de, executor = self.build(env, zero_net, transactional=True)
-        checkout = de.handle("knactor-checkout", "checkout")
+        checkout = de.handle("knactor-checkout", principal="checkout")
         call(checkout.create("o1", {"cost": 42}))
         call(executor.exchange("o1"))
         stats = call(executor.exchange("o1"))
