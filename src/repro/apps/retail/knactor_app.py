@@ -90,7 +90,8 @@ class RetailKnactorApp:
 
     @classmethod
     def build(cls, env=None, profile=K_APISERVER, seed=7, with_notify=True,
-              dxg=None, retry_policy=None, shards=1, watch_batch_window=0.0):
+              dxg=None, retry_policy=None, shards=1, watch_batch_window=0.0,
+              zero_copy=True, delta_watch=False):
         """Construct the full app under an optimization profile.
 
         ``dxg`` overrides the main integrator's spec (the Table 2 bench
@@ -101,7 +102,10 @@ class RetailKnactorApp:
         otherwise.  ``shards > 1`` hash-partitions the Object backend
         across that many replicas (a :class:`repro.store.ShardedStore`);
         ``watch_batch_window > 0`` (seconds) coalesces watch fan-out per
-        watcher per window -- the scale-out hot path.
+        watcher per window -- the scale-out hot path.  ``zero_copy``
+        keeps store state as frozen structurally-shared views (reads
+        alias, writes path-copy); ``delta_watch`` ships merge-patch
+        deltas instead of full snapshots on the watch/replication plane.
         """
         env = env if env is not None else Environment()
         network = Network(env, default_latency=config.NETWORK_HOP)
@@ -122,6 +126,7 @@ class RetailKnactorApp:
                 env, network, location=location,
                 ops=calibration.ops, watch_overhead=calibration.watch_overhead,
                 tracer=tracer, watch_batch_window=watch_batch_window,
+                zero_copy=zero_copy, delta_watch=delta_watch,
             )
 
         if shards > 1:

@@ -8,7 +8,7 @@ Subcommands:
 - ``knactor table1``                  -- regenerate Table 1,
 - ``knactor table2 [--orders N]``     -- regenerate Table 2,
 - ``knactor analyze FILE``            -- statically analyze a DXG file,
-- ``knactor bench shard-scaling``     -- run the shard-scaling benchmark,
+- ``knactor bench shard-scaling|zero-copy`` -- run a benchmark,
 - ``knactor version``.
 """
 
@@ -169,14 +169,22 @@ def cmd_trace(args):
     return 0
 
 
+#: bench subcommand name -> module under benchmarks/.
+BENCHMARKS = {
+    "shard-scaling": "bench_shard_scaling",
+    "zero-copy": "bench_zero_copy_delta",
+}
+
+
 def cmd_bench(args):
-    if args.bench != "shard-scaling":
+    name = BENCHMARKS.get(args.bench)
+    if name is None:
         print(f"error: unknown benchmark {args.bench!r}", file=sys.stderr)
         return 1
-    module = _load_benchmark("bench_shard_scaling")
+    module = _load_benchmark(name)
     if module is None:
         print(
-            "error: benchmarks/bench_shard_scaling.py not found "
+            f"error: benchmarks/{name}.py not found "
             "(run from a repository checkout)",
             file=sys.stderr,
         )
@@ -249,7 +257,7 @@ def build_parser():
     analyze.set_defaults(fn=cmd_analyze)
 
     bench = sub.add_parser("bench", help="run a performance benchmark")
-    bench.add_argument("bench", choices=["shard-scaling"])
+    bench.add_argument("bench", choices=sorted(BENCHMARKS))
     bench.add_argument("--smoke", action="store_true",
                        help="small sweep (what CI runs)")
     bench.add_argument("--out", default=None,

@@ -38,6 +38,7 @@ from repro.errors import (
 )
 from repro.core.dxg.functions import standard_functions
 from repro.core.dxg.planner import plan as build_plan
+from repro.store.cow import is_frozen
 from repro.util.paths import get_path, set_path
 
 
@@ -143,6 +144,11 @@ class DXGExecutor:
         slot = self._slot(alias, kind, cid)
         if data is None:
             self.cache.pop(slot, None)
+        elif is_frozen(data):
+            # Zero-copy plane: watch events hand us immutable views, so
+            # the cache can alias them -- nothing downstream mutates it
+            # (computation works on a thawed copy of the target only).
+            self.cache[slot] = data
         else:
             self.cache[slot] = copy.deepcopy(data)
 
@@ -268,7 +274,10 @@ class DXGExecutor:
                     view = yield handle.get(self._read_key(alias, kind, cid))
                     stats.reads += 1
                     objects[(alias, kind)] = view["data"]
-                    self.cache[slot] = copy.deepcopy(view["data"])
+                    self.cache[slot] = (
+                        view["data"] if is_frozen(view["data"])
+                        else copy.deepcopy(view["data"])
+                    )
                 except NotFoundError:
                     stats.reads += 1
                     objects[(alias, kind)] = None

@@ -13,13 +13,12 @@ Every handle operation:
 4. masks ``+kr: secret`` fields on the way out for non-privileged readers.
 """
 
-import copy
-
 from repro.errors import ConfigurationError
 from repro.exchange.base import DataExchange, StoreHandle
 from repro.schema.validation import validate_state
 from repro.store.apiserver import ApiServer, ApiServerClient
 from repro.store.base import WatchEvent
+from repro.store.cow import copy_value, mask_shared
 from repro.store.memkv import MemKV, MemKVClient
 from repro.store.sharded import ShardedStore, ShardedStoreClient
 from repro.util.paths import delete_path, get_path, walk_leaves
@@ -97,7 +96,13 @@ class ObjectStoreHandle(StoreHandle):
         return f"{self.hosted.name}/{key}"
 
     def _mask(self, view):
-        """Strip secret fields unless this principal may read them."""
+        """Strip secret fields unless this principal may read them.
+
+        Zero-copy backends build the masked view as a deletion
+        merge-patch applied by path copy: unmasked subtrees stay shared
+        with the store's frozen structure instead of being deep-copied
+        per read.
+        """
         secrets = self.schema.secret_fields()
         if not secrets:
             return view
@@ -106,11 +111,19 @@ class ObjectStoreHandle(StoreHandle):
         )
         if "*" in readable:
             return view
+        hidden = [f.path for f in secrets if f.path not in readable]
+        if not hidden:
+            return view
         masked = dict(view)
-        masked["data"] = copy.deepcopy(view["data"])
-        for f in secrets:
-            if f.path not in readable:
-                delete_path(masked["data"], f.path)
+        if getattr(self.client, "zero_copy", False):
+            masked["data"] = mask_shared(
+                view["data"], hidden, meter=self.client.copy_meter
+            )
+        else:
+            meter = getattr(self.client, "copy_meter", None)
+            masked["data"] = copy_value(view["data"], meter, "mask")
+            for path in hidden:
+                delete_path(masked["data"], path)
         return masked
 
     @staticmethod

@@ -50,10 +50,32 @@ def runtime_snapshot(runtime):
             "backend_aborted_ops": de.backend.aborted_ops,
             "backend_crashes": de.backend.crash_count,
         }
+        state_plane = _state_plane_stats(de.backend)
+        if state_plane is not None:
+            entry["state_plane"] = state_plane
         if de.retry_policy is not None:
             entry["retry"] = de.retry_policy.stats()
         snapshot["exchanges"][name] = entry
     return snapshot
+
+
+def _state_plane_stats(backend):
+    """Zero-copy / delta-replication counters for one store backend.
+
+    Log backends and older store stand-ins may lack the counters;
+    return None rather than guessing.
+    """
+    copy_stats = getattr(backend, "copy_stats", None)
+    if copy_stats is None:
+        return None
+    return {
+        "zero_copy": getattr(backend, "zero_copy", False),
+        "delta_watch": getattr(backend, "delta_watch", False),
+        "copy": copy_stats,
+        "watch_wire_bytes": getattr(backend, "watch_wire_bytes", 0),
+        "watch_deltas_sent": getattr(backend, "watch_deltas_sent", 0),
+        "watch_fulls_sent": getattr(backend, "watch_fulls_sent", 0),
+    }
 
 
 def resilience_snapshot(runtime, breakers=()):

@@ -142,6 +142,10 @@ class Link:
         self._last_delivery = -math.inf
         self.delivered = 0
         self.dropped = 0
+        #: Payload bytes carried (senders that know their wire size pass
+        #: ``size=``; store watch fan-out does).  Zero-sized sends are
+        #: control traffic.
+        self.bytes_sent = 0
 
     def _fault_verdict(self):
         """``(lost, extra_delay)`` from the owning network's fault rules."""
@@ -149,13 +153,16 @@ class Link:
             return False, 0.0
         return self.network.fault_verdict(self.src, self.dst)
 
-    def send(self, handler, message):
+    def send(self, handler, message, size=0):
         """Deliver ``message`` to ``handler(message)`` after sampled latency.
 
         Returns the arrival time, or ``None`` when a fault rule dropped
-        the message (the handler never runs).
+        the message (the handler never runs).  ``size`` is the payload's
+        wire size in bytes, accounted on the link (dropped messages still
+        hit the wire).
         """
         lost, extra = self._fault_verdict()
+        self.bytes_sent += size
         if lost:
             self.dropped += 1
             return None
@@ -177,7 +184,7 @@ class Link:
         self.env.schedule(event, delay=delay)
         return self.env.now + delay
 
-    def transfer(self, value=None):
+    def transfer(self, value=None, size=0):
         """Event that fires with ``value`` after sampled latency.
 
         Convenience for process code: ``result = yield link.transfer(x)``.
@@ -187,6 +194,7 @@ class Link:
         exception rather than hanging forever.
         """
         lost, extra = self._fault_verdict()
+        self.bytes_sent += size
         delay = self.latency.sample() + extra
         if lost:
             self.dropped += 1
@@ -249,9 +257,14 @@ class Network:
             )
         return self._links[key]
 
-    def transfer(self, src, dst, value=None):
+    def transfer(self, src, dst, value=None, size=0):
         """Event firing with ``value`` after the ``src -> dst`` latency."""
-        return self.link(src, dst).transfer(value)
+        return self.link(src, dst).transfer(value, size=size)
+
+    @property
+    def bytes_sent(self):
+        """Total accounted payload bytes across every link."""
+        return sum(link.bytes_sent for link in self._links.values())
 
     # -- fault rules (see repro.faults) -----------------------------------
 

@@ -27,6 +27,18 @@ from repro.store.base import (
     combine_patches,
     estimate_size,
 )
+from repro.store.cow import (
+    CopyMeter,
+    CowList,
+    CowMap,
+    FrozenViewError,
+    diff_shared,
+    freeze,
+    is_frozen,
+    mask_shared,
+    merge_shared,
+    thaw,
+)
 from repro.store.apiserver import ApiServer, ApiServerClient
 from repro.store.memkv import MemKV, MemKVClient
 from repro.store.loglake import APPENDED, LogLake, LogLakeClient
@@ -44,7 +56,11 @@ __all__ = [
     "APPENDED",
     "ApiServer",
     "ApiServerClient",
+    "CopyMeter",
+    "CowList",
+    "CowMap",
     "DELETED",
+    "FrozenViewError",
     "LogLake",
     "LogLakeClient",
     "MODIFIED",
@@ -64,6 +80,12 @@ __all__ = [
     "UDFRegistry",
     "WatchEvent",
     "combine_patches",
+    "diff_shared",
     "estimate_size",
+    "freeze",
+    "is_frozen",
+    "mask_shared",
+    "merge_shared",
     "shard_index",
+    "thaw",
 ]

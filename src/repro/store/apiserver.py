@@ -33,7 +33,9 @@ from repro.store.base import (
     StoreClient,
     StoredObject,
     StoreServer,
+    WatchEvent,
 )
+from repro.store.cow import freeze, merge_shared
 from repro.store.objectops import ObjectOpsMixin, merge_patch  # noqa: F401
 
 #: Default per-op server-side latencies (seconds): writes pay an
@@ -75,15 +77,19 @@ class ApiServer(ObjectOpsMixin, StoreServer):
         ops=None,
         watch_overhead=0.0012,
         watch_batch_window=0.0,
+        zero_copy=True,
+        delta_watch=False,
     ):
         super().__init__(env, network, location, workers=workers, tracer=tracer,
-                         watch_batch_window=watch_batch_window)
+                         watch_batch_window=watch_batch_window,
+                         zero_copy=zero_copy, delta_watch=delta_watch)
         if ops:
             self.OPS = {**self.OPS, **ops}
         self._objects = {}
-        self._history = []  # bounded list of WatchEvents for replay
+        self._history = []  # bounded list of FULL WatchEvents for replay
         self._history_limit = history_limit
         self._wal = []  # unbounded durable commit log ("disk")
+        self.wal_bytes = 0  # encoded size of what hit the "disk"
         self._pending_replays = []  # (watch, from_revision) queued while down
         self.watch_overhead = watch_overhead
 
@@ -92,7 +98,21 @@ class ApiServer(ObjectOpsMixin, StoreServer):
         obj = self._objects.get(event.key)
         if obj is not None:
             labels = dict(obj.labels)
-        self._wal.append(_WalRecord(self.env.now, event, labels))
+        durable = event
+        if self.delta_watch and event.delta is not None:
+            # Delta-encoded WAL: persist the merge-patch, not the whole
+            # object -- the restart path re-materializes by replaying
+            # deltas onto the previous durable state.
+            durable = WatchEvent(
+                event.type, event.key, None, event.revision,
+                delta=event.delta, prev_revision=event.prev_revision,
+            )
+        self.wal_bytes += durable.wire_size()
+        self._wal.append(_WalRecord(self.env.now, durable, labels))
+        # History must hold FULL events: replay sends them verbatim to
+        # watchers with no predecessor state to apply a delta against.
+        if event.object is None and event.delta is not None:
+            raise AssertionError("commit events must carry the full object")
         self._history.append(event)
         if len(self._history) > self._history_limit:
             del self._history[: len(self._history) - self._history_limit]
@@ -155,26 +175,47 @@ class ApiServer(ObjectOpsMixin, StoreServer):
         self.revision = 0
 
     def _on_restart(self):
-        """Rebuild objects, revision counter, and watch history from WAL."""
+        """Rebuild objects, revision counter, and watch history from WAL.
+
+        Delta records materialize by merge onto the previous durable
+        state of their key (the WAL is written in commit order, so the
+        predecessor is always already rebuilt).  The replay history is
+        rebuilt as FULL events from the materialized states.
+        """
         created_at = {}
+        full_events = []
         for record in self._wal:
             event = record.event
             if event.type == DELETED:
                 self._objects.pop(event.key, None)
                 created_at.pop(event.key, None)
+                full_events.append(event)
             else:
+                if event.object is None and event.delta is not None:
+                    base = self._objects[event.key].data
+                    if self.zero_copy:
+                        data = merge_shared(base, event.delta)
+                    else:
+                        data = merge_patch(base, event.delta)
+                else:
+                    data = (
+                        freeze(event.object) if self.zero_copy
+                        else copy.deepcopy(event.object)
+                    )
                 created_at.setdefault(event.key, record.time)
                 self._objects[event.key] = StoredObject(
                     key=event.key,
-                    data=copy.deepcopy(event.object),
+                    data=data,
                     revision=event.revision,
                     created_at=created_at[event.key],
                     updated_at=record.time,
                     labels=dict(record.labels),
                 )
+                full_events.append(
+                    WatchEvent(event.type, event.key, data, event.revision)
+                )
             self.revision = max(self.revision, event.revision)
-        tail = [r.event for r in self._wal]
-        self._history = tail[-self._history_limit:]
+        self._history = full_events[-self._history_limit:]
         self._flush_pending_replays()
 
 

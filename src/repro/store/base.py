@@ -15,6 +15,25 @@ The per-byte term is what the zero-copy optimization (paper §3.3) removes
 for co-located clients.  Network time is taken from the shared
 :class:`~repro.simnet.network.Network` between the caller's location and the
 server's location; co-located callers pay nothing.
+
+Zero-copy state plane
+---------------------
+With ``zero_copy=True`` (the default) a server keeps object data as
+frozen, structurally-shared :mod:`repro.store.cow` views: reads,
+snapshots, and watch events alias the live structure instead of deep
+copying it, and patches re-create only the containers along patched
+paths.  Views are therefore **immutable** -- mutate through the store's
+patch/update APIs, or ``thaw()`` a private copy.
+
+With ``delta_watch=True`` the watch/replication protocol additionally
+ships **revision-chained JSON-merge-patch deltas** instead of full
+snapshots.  The server tracks, per watch, the last revision it sent for
+each key; when the watcher provably holds the predecessor state it
+sends just the delta.  The client-side :class:`Watch` materializes full
+objects before invoking handlers, detects revision-chain gaps, and
+falls back to a full-object resync (and ultimately a stream break) --
+so handlers never observe the encoding.  Wire bytes are accounted on
+both the server (``watch_wire_bytes``) and the network links.
 """
 
 import copy
@@ -23,33 +42,22 @@ from dataclasses import dataclass, field
 from repro.errors import StoreError, UnavailableError
 from repro.simnet.events import Interrupt
 from repro.simnet.queue import Resource
+from repro.store.cow import (
+    CopyMeter,
+    copy_value,
+    estimate_size,
+    freeze,
+    is_frozen,
+    merge_shared,
+)
 
 #: Watch event types (mirroring the Kubernetes watch protocol).
 ADDED = "ADDED"
 MODIFIED = "MODIFIED"
 DELETED = "DELETED"
 
-
-def estimate_size(value):
-    """Rough serialized size of a value, in bytes.
-
-    Deliberately cheap: the simulation calls this on every operation.
-    """
-    if value is None:
-        return 4
-    if isinstance(value, bool):
-        return 5
-    if isinstance(value, (int, float)):
-        return 8
-    if isinstance(value, str):
-        return len(value) + 2
-    if isinstance(value, (list, tuple)):
-        return 2 + sum(estimate_size(v) + 1 for v in value)
-    if isinstance(value, dict):
-        return 2 + sum(
-            estimate_size(k) + estimate_size(v) + 2 for k, v in value.items()
-        )
-    return 16
+#: Per-event wire framing overhead (type + revision fields), bytes.
+EVENT_OVERHEAD = 24
 
 
 @dataclass(frozen=True)
@@ -65,12 +73,31 @@ class OpLatency:
 
 @dataclass(frozen=True)
 class WatchEvent:
-    """One change notification delivered to a watcher."""
+    """One change notification delivered to a watcher.
+
+    ``delta``/``prev_revision`` carry the delta-encoding of a MODIFIED
+    commit: a JSON-merge-patch that turns the object at
+    ``prev_revision`` into the object at ``revision``.  On the wire a
+    delta-encoded event has ``object=None``; the client-side
+    :class:`Watch` materializes the full object before handlers see it.
+    """
 
     type: str  # ADDED | MODIFIED | DELETED
     key: str
     object: dict
     revision: int
+    delta: dict = None
+    prev_revision: int = None
+
+    def wire_size(self):
+        """Bytes this event occupies in one watch message."""
+        if self.object is None and self.delta is not None:
+            payload = estimate_size(self.delta)
+        elif self.object is not None:
+            payload = estimate_size(self.object)
+        else:
+            payload = 0  # tombstone
+        return len(self.key) + EVENT_OVERHEAD + payload
 
 
 @dataclass
@@ -85,7 +112,15 @@ class StoredObject:
     labels: dict = field(default_factory=dict)
 
     def snapshot(self):
-        """Deep copy handed to clients (stores never alias live state)."""
+        """The data handed to clients.
+
+        Zero-copy stores keep ``data`` frozen: the view itself is the
+        snapshot (immutable, structurally shared).  Mutable data falls
+        back to the classic deep copy -- stores never alias live
+        *mutable* state.
+        """
+        if is_frozen(self.data):
+            return self.data
         return copy.deepcopy(self.data)
 
 
@@ -112,7 +147,20 @@ class Watch:
     can consume whole batches in one go (reconcilers, Cast) registers
     ``batch_handler``; otherwise ``handler`` is invoked once per event,
     in order, so batching stays invisible to per-event consumers.
+
+    Against a ``delta_watch`` server, :meth:`deliver` additionally
+    **materializes** delta-encoded events: it keeps the last (revision,
+    object) per key, applies merge-patch deltas by path copy, and hands
+    handlers ordinary full-object events.  A delta whose
+    ``prev_revision`` does not chain onto the held state is a **gap**:
+    the event is buffered, one full-object ``get`` resyncs the key, and
+    buffered deltas past the resync point are replayed.  If the resync
+    itself cannot complete, the stream breaks (``on_close`` fires) and
+    the watcher does a classic full resync.
     """
+
+    #: Transient-resync retry budget before declaring the stream broken.
+    resync_attempts = 8
 
     def __init__(self, server, location, handler, key_prefix="", on_close=None,
                  batch_handler=None):
@@ -124,14 +172,127 @@ class Watch:
         self.batch_handler = batch_handler
         self.active = True
         self.delivered = 0
+        # Server-side delta-encoder state: last revision sent per key
+        # (valid because the stream is reliable-until-broken FIFO).
+        self._sent_revisions = {}
+        # Client-side materializer state: key -> (revision, object).
+        self._state = {}
+        self._gap_buffer = {}  # key -> [wire events] while a resync runs
+        self.delta_events = 0
+        self.full_events = 0
+        self.gaps_detected = 0
+        self.key_resyncs = 0
 
     def deliver(self, events):
         """Client-side arrival of one network message (1+ events)."""
+        ready = []
+        for event in events:
+            materialized = self._materialize(event)
+            if materialized is not None:
+                ready.append(materialized)
+        self._dispatch(ready)
+
+    def _dispatch(self, events):
+        if not events:
+            return
         if self.batch_handler is not None:
             self.batch_handler(list(events))
-        else:
+        elif self.handler is not None:
             for event in events:
                 self.handler(event)
+
+    # -- delta materialization (no-op for snapshot streams) -----------------
+
+    def _materialize(self, event):
+        if not getattr(self._server, "delta_watch", False):
+            return event
+        key = event.key
+        if key in self._gap_buffer:
+            # A resync for this key is in flight: preserve order.
+            self._gap_buffer[key].append(event)
+            return None
+        if event.type == DELETED:
+            last = self._state.pop(key, None)
+            self.full_events += 1
+            if event.object is None and last is not None:
+                # Tombstone on the wire; hand the handler the last-known
+                # object, matching snapshot-stream semantics.
+                return WatchEvent(DELETED, key, last[1], event.revision)
+            return event
+        if event.object is None and event.delta is not None:
+            base = self._state.get(key)
+            if base is None or base[0] != event.prev_revision:
+                self.gaps_detected += 1
+                self._begin_resync(key, event)
+                return None
+            merged = merge_shared(base[1], event.delta)
+            self._state[key] = (event.revision, merged)
+            self.delta_events += 1
+            return WatchEvent(event.type, key, merged, event.revision)
+        self._state[key] = (event.revision, event.object)
+        self.full_events += 1
+        return event
+
+    def _begin_resync(self, key, pending_event):
+        self._gap_buffer[key] = [pending_event]
+        self.key_resyncs += 1
+        self._server.env.process(self._resync_key(self._server.env, key))
+
+    def _resync_key(self, env, key):
+        """Full-object fallback: one (retried) GET round trip for ``key``."""
+        server = self._server
+        view = None
+        deleted = False
+        for attempt in range(self.resync_attempts):
+            if not self.active:
+                self._gap_buffer.pop(key, None)
+                return
+            remote = self.location != server.location
+            try:
+                if remote:
+                    yield server.network.transfer(self.location, server.location)
+                result = yield server.handle("get", {"key": key})
+                if remote:
+                    yield server.network.transfer(server.location, self.location)
+            except UnavailableError:
+                result = None  # partitioned link: retry like a server error
+            if result is None or (
+                isinstance(result, _Failure)
+                and isinstance(result.exception, UnavailableError)
+            ):
+                yield env.timeout(0.002 * (2 ** min(attempt, 6)))
+                continue
+            if isinstance(result, _Failure):
+                deleted = True  # NotFound: the gap resolved to a deletion
+                break
+            view = result
+            break
+        else:
+            # The store would not answer: the stream is unrecoverable at
+            # this layer.  Break it; the watcher re-watches and resyncs.
+            self._gap_buffer.pop(key, None)
+            self.break_connection(0.0)
+            return
+        buffered = self._gap_buffer.pop(key, [])
+        if not self.active:
+            return
+        ready = []
+        if deleted:
+            last = self._state.pop(key, None)
+            ready.append(WatchEvent(
+                DELETED, key, last[1] if last else None,
+                getattr(server, "revision", 0),
+            ))
+        else:
+            self._state[key] = (view["revision"], view["data"])
+            ready.append(WatchEvent(MODIFIED, key, view["data"], view["revision"]))
+        for event in buffered:
+            if not deleted and event.revision <= view["revision"]:
+                continue  # already folded into the resynced view
+            materialized = self._materialize(event)
+            if materialized is not None:
+                ready.append(materialized)
+        self._dispatch(ready)
 
     def matches(self, key):
         return self.active and key.startswith(self.key_prefix)
@@ -192,11 +353,18 @@ class StoreServer:
     watch_keepalive = 0.02
 
     def __init__(self, env, network, location, workers=1, tracer=None,
-                 watch_batch_window=0.0):
+                 watch_batch_window=0.0, zero_copy=True, delta_watch=False):
         self.env = env
         self.network = network
         self.location = location
         self.tracer = tracer
+        #: Zero-copy state plane: keep object data frozen and hand out
+        #: structurally-shared views instead of deep copies.
+        self.zero_copy = bool(zero_copy)
+        #: Delta replication: watch events ship revision-chained
+        #: merge-patch deltas instead of full snapshots.
+        self.delta_watch = bool(delta_watch)
+        self.copy_meter = CopyMeter()
         self._worker_pool = Resource(env, capacity=workers)
         # Registration order, NOT a set: fan-out order must be
         # deterministic across runs (hash randomization must not leak
@@ -210,6 +378,11 @@ class StoreServer:
         self._watch_buffers = {}  # Watch -> [pending events]
         self.watch_messages_sent = 0
         self.watch_events_sent = 0
+        self.watch_wire_bytes = 0
+        self.watch_deltas_sent = 0
+        self.watch_fulls_sent = 0
+        self.watch_drops_injected = 0
+        self._drop_next_watch_message = False
         self.op_counts = {}
         self.revision = 0
         # Availability / failure state (see repro.faults).
@@ -300,16 +473,65 @@ class StoreServer:
                 else:
                     self._send_to_watch(watch, (event,))
 
+    def _encode_event(self, watch, event):
+        """Wire encoding of ``event`` for one watcher.
+
+        In delta mode, a MODIFIED commit whose predecessor revision is
+        the last one sent on this stream ships as a merge-patch delta
+        (``object=None``); anything else -- first sight of a key, a
+        commit with no delta, or a chain break -- ships the full
+        snapshot, re-anchoring the stream.  DELETED ships a tombstone.
+        Valid because the stream is reliable-until-broken FIFO.
+        """
+        if not self.delta_watch:
+            return event
+        key = event.key
+        if event.type == DELETED:
+            watch._sent_revisions.pop(key, None)
+            return WatchEvent(DELETED, key, None, event.revision)
+        last_sent = watch._sent_revisions.get(key)
+        watch._sent_revisions[key] = event.revision
+        if (
+            event.delta is not None
+            and event.prev_revision is not None
+            and last_sent == event.prev_revision
+        ):
+            self.watch_deltas_sent += 1
+            return WatchEvent(
+                event.type, key, None, event.revision,
+                delta=event.delta, prev_revision=event.prev_revision,
+            )
+        self.watch_fulls_sent += 1
+        return WatchEvent(event.type, key, event.object, event.revision)
+
     def _send_to_watch(self, watch, events):
         """One network message carrying ``events``; False if it broke."""
+        encoded = [self._encode_event(watch, event) for event in events]
+        wire_bytes = sum(event.wire_size() for event in encoded)
+        if self._drop_next_watch_message:
+            # Test hook: lose this message AFTER encoding, so the
+            # server's sent-revision chain advances past what the client
+            # holds -- a genuine delta gap, exercised by the resync path.
+            self._drop_next_watch_message = False
+            self.watch_drops_injected += 1
+            return False
         link = self.network.link(self.location, watch.location)
-        if link.send(watch.deliver, tuple(events)) is None:
+        if link.send(watch.deliver, tuple(encoded), size=wire_bytes) is None:
             watch.break_connection(self.watch_keepalive)
             return False
         self.watch_messages_sent += 1
-        self.watch_events_sent += len(events)
-        watch.delivered += len(events)
+        self.watch_events_sent += len(encoded)
+        self.watch_wire_bytes += wire_bytes
+        watch.delivered += len(encoded)
         return True
+
+    def drop_next_watch_message(self):
+        """Fault hook: silently lose the next watch message (see tests)."""
+        self._drop_next_watch_message = True
+
+    @property
+    def copy_stats(self):
+        return self.copy_meter.snapshot()
 
     def _buffer_for_watch(self, watch, event):
         buffer = self._watch_buffers.get(watch)
@@ -477,6 +699,14 @@ class StoreClient:
     def colocated(self):
         return self.location == self.server.location
 
+    @property
+    def zero_copy(self):
+        return getattr(self.server, "zero_copy", False)
+
+    @property
+    def copy_meter(self):
+        return self.server.copy_meter
+
     def request(self, op, **args):
         """Round-trip one operation; returns a simnet process event."""
         if self.retry_policy is None and self.circuit_breaker is None:
@@ -510,7 +740,14 @@ class StoreClient:
             view = self._read_cache.get(key)
             if view is not None:
                 self.cache_hits += 1
-                return self.env.timeout(0.0, copy.deepcopy(view))
+                if self.zero_copy:
+                    # Cached ``data`` is already a frozen view; freezing
+                    # the outer envelope shares it -- zero bytes copied.
+                    hit = freeze(view)
+                    self.copy_meter.shared(estimate_size(view))
+                else:
+                    hit = copy_value(view, self.copy_meter, "cache")
+                return self.env.timeout(0.0, hit)
             self.cache_misses += 1
         return self.request("get", key=key)
 

@@ -10,10 +10,9 @@ monotonically increasing sequence number) and ``_ts`` (ingest time).
 Watchers subscribe per pool and receive each loaded batch.
 """
 
-import copy
-
 from repro.errors import AlreadyExistsError, NotFoundError, StoreError
 from repro.store.base import OpLatency, StoreClient, StoreServer, WatchEvent
+from repro.store.cow import CowMap, copy_value, estimate_size, freeze
 from repro.store.zql import compile_query
 
 #: Event type for log-batch delivery (pools are append-only: no MODIFIED).
@@ -56,9 +55,12 @@ class LogLake(StoreServer):
         ops=None,
         watch_overhead=0.0003,
         watch_batch_window=0.0,
+        zero_copy=True,
+        delta_watch=False,
     ):
         super().__init__(env, network, location, workers=workers, tracer=tracer,
-                         watch_batch_window=watch_batch_window)
+                         watch_batch_window=watch_batch_window,
+                         zero_copy=zero_copy, delta_watch=delta_watch)
         if ops:
             self.OPS = {**self.OPS, **ops}
         self._pools = {}
@@ -82,9 +84,18 @@ class LogLake(StoreServer):
         for record in records:
             if not isinstance(record, dict):
                 raise StoreError(f"records must be dicts, got {type(record).__name__}")
-            row = copy.deepcopy(record)
-            row["_seq"] = target.next_seq
-            row["_ts"] = self.env.now
+            if self.zero_copy:
+                # One frozen row shared by the pool, watch events, and
+                # every later scan; the stamp fields ride the freeze.
+                row = CowMap({
+                    **freeze(record, self.copy_meter, "ingest"),
+                    "_seq": target.next_seq,
+                    "_ts": self.env.now,
+                })
+            else:
+                row = copy_value(record, self.copy_meter, "ingest")
+                row["_seq"] = target.next_seq
+                row["_ts"] = self.env.now
             target.next_seq += 1
             stamped.append(row)
         target.records.extend(stamped)
@@ -125,7 +136,16 @@ class LogLake(StoreServer):
             delay = len(scanned) * self.scan_cost_per_record
             if delay > 0:
                 yield env.timeout(delay)
-            return pipeline([copy.deepcopy(r) for r in scanned])
+            if self.zero_copy:
+                # ZQL stages copy-before-mutate, so frozen rows flow
+                # through the pipeline directly: the per-row deep copy
+                # this scan used to pay is gone.
+                for row in scanned:
+                    self.copy_meter.shared(estimate_size(row))
+                return pipeline(list(scanned))
+            return pipeline(
+                [copy_value(r, self.copy_meter, "scan") for r in scanned]
+            )
 
         return run(self.env)
 

@@ -54,9 +54,12 @@ class MemKV(ObjectOpsMixin, StoreServer):
         watch_overhead=0.00015,
         local_access_cost=0.00005,
         watch_batch_window=0.0,
+        zero_copy=True,
+        delta_watch=False,
     ):
         super().__init__(env, network, location, workers=workers, tracer=tracer,
-                         watch_batch_window=watch_batch_window)
+                         watch_batch_window=watch_batch_window,
+                         zero_copy=zero_copy, delta_watch=delta_watch)
         if ops:
             self.OPS = {**self.OPS, **ops}
         self._objects = {}

@@ -22,6 +22,7 @@ from repro.errors import (
     StoreError,
 )
 from repro.store.base import ADDED, DELETED, MODIFIED, StoredObject, WatchEvent
+from repro.store.cow import copy_value, diff_shared, estimate_size, freeze, merge_shared
 
 
 def merge_patch(data, patch):
@@ -55,7 +56,7 @@ class ObjectOpsMixin:
         revision = self.next_revision()
         obj = StoredObject(
             key=key,
-            data=copy.deepcopy(data),
+            data=self._ingest(data),
             revision=revision,
             created_at=self.env.now,
             updated_at=self.env.now,
@@ -73,18 +74,29 @@ class ObjectOpsMixin:
 
     def op_update(self, key, data, resource_version=None):
         obj = self._require(key, resource_version)
-        obj.data = copy.deepcopy(data)
+        prev_revision = obj.revision
+        old_data = obj.data
+        obj.data = self._ingest(data)
         obj.revision = self.next_revision()
         obj.updated_at = self.env.now
-        self._commit(MODIFIED, obj)
+        # A full update still replicates as a delta: diff the versions.
+        delta = diff_shared(old_data, obj.data) if self.delta_watch else None
+        self._commit(MODIFIED, obj, delta=delta, prev_revision=prev_revision)
         return self._view(obj)
 
     def op_patch(self, key, patch, resource_version=None):
         obj = self._require(key, resource_version)
-        obj.data = merge_patch(obj.data, patch)
+        prev_revision = obj.revision
+        if self.zero_copy:
+            # Path copy: only containers along patched paths re-allocate.
+            obj.data = merge_shared(obj.data, patch, self.copy_meter)
+        else:
+            obj.data = merge_patch(obj.data, patch)
         obj.revision = self.next_revision()
         obj.updated_at = self.env.now
-        self._commit(MODIFIED, obj)
+        # The patch IS the delta (merge-patch composes with itself).
+        delta = freeze(patch) if self.delta_watch else None
+        self._commit(MODIFIED, obj, delta=delta, prev_revision=prev_revision)
         return self._view(obj)
 
     def op_delete(self, key):
@@ -170,17 +182,39 @@ class ObjectOpsMixin:
             )
         return obj
 
+    def _ingest(self, data):
+        """The single write-time copy of caller-owned data.
+
+        Zero-copy stores freeze it (every later snapshot aliases the
+        frozen structure); classic stores deep-copy, and every later
+        snapshot deep-copies again.  Both are metered as ``ingest`` so
+        the benchmark compares like with like.
+        """
+        if self.zero_copy:
+            return freeze(data, self.copy_meter, "ingest")
+        return copy_value(data, self.copy_meter, "ingest")
+
+    def _snapshot(self, obj):
+        """Client-facing copy of ``obj.data`` -- the read hot path."""
+        if self.zero_copy:
+            self.copy_meter.shared(estimate_size(obj.data))
+            return obj.data  # frozen: the view IS the snapshot
+        return copy_value(obj.data, self.copy_meter, "snapshot")
+
     def _view(self, obj):
         return {
             "key": obj.key,
-            "data": obj.snapshot(),
+            "data": self._snapshot(obj),
             "revision": obj.revision,
             "created_at": obj.created_at,
             "updated_at": obj.updated_at,
         }
 
-    def _commit(self, event_type, obj):
-        event = WatchEvent(event_type, obj.key, obj.snapshot(), obj.revision)
+    def _commit(self, event_type, obj, delta=None, prev_revision=None):
+        event = WatchEvent(
+            event_type, obj.key, self._snapshot(obj), obj.revision,
+            delta=delta, prev_revision=prev_revision,
+        )
         self._record_commit(event)
         if self.tracer is not None:
             self.tracer.record(

@@ -102,6 +102,32 @@ class ShardedStore:
         return sum(s.watch_events_sent for s in self.shards)
 
     @property
+    def watch_wire_bytes(self):
+        return sum(s.watch_wire_bytes for s in self.shards)
+
+    @property
+    def watch_deltas_sent(self):
+        return sum(s.watch_deltas_sent for s in self.shards)
+
+    @property
+    def watch_fulls_sent(self):
+        return sum(s.watch_fulls_sent for s in self.shards)
+
+    @property
+    def zero_copy(self):
+        return all(s.zero_copy for s in self.shards)
+
+    @property
+    def delta_watch(self):
+        return all(s.delta_watch for s in self.shards)
+
+    @property
+    def copy_stats(self):
+        from repro.store.cow import CopyMeter
+
+        return CopyMeter.merge_snapshots([s.copy_stats for s in self.shards])
+
+    @property
     def aborted_ops(self):
         return sum(s.aborted_ops for s in self.shards)
 
@@ -200,6 +226,16 @@ class ShardedStoreClient:
 
     def _client_for(self, key):
         return self.clients[shard_index(key, len(self.clients))]
+
+    @property
+    def zero_copy(self):
+        return self.store.zero_copy
+
+    @property
+    def copy_meter(self):
+        # Writes route per shard; expose shard 0's meter for callers that
+        # want *a* meter (aggregate accounting lives on store.copy_stats).
+        return self.store.shards[0].copy_meter
 
     # -- single-key ops route to the owning shard ----------------------------
 

@@ -65,6 +65,21 @@ class TestCLI:
         data = json.loads(out_file.read_text())
         assert len(data["traceEvents"]) > 10
 
+    def test_bench_names_resolve_to_modules(self):
+        from pathlib import Path
+
+        from repro.cli.main import BENCHMARKS, build_parser
+
+        benchmarks = Path(__file__).resolve().parent.parent / "benchmarks"
+        for name, module in BENCHMARKS.items():
+            args = build_parser().parse_args(["bench", name])
+            assert args.bench == name
+            assert (benchmarks / f"{module}.py").is_file()
+
+    def test_unknown_bench_exits(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "frobnicate"])
+
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])

@@ -1,0 +1,174 @@
+"""Property test: the zero-copy/delta state plane is observably identical
+to the classic deepcopy/full-snapshot plane.
+
+Seeded random operation sequences (create/patch/update/delete/txn) are
+applied to two stores -- one classic (``zero_copy=False``), one
+``cow+delta`` (``zero_copy=True, delta_watch=True``).  A watcher mirrors
+each store.  The properties:
+
+- final store state is byte-identical (canonical JSON),
+- the per-key sequence of (type, object, revision) a watcher observes is
+  identical -- the delta encoding is invisible to handlers,
+- after an injected dropped watch message, the delta stream detects the
+  gap, resyncs the key, and converges to the same state anyway.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.store import DELETED, MemKV, MemKVClient
+from repro.simnet import Environment, FixedLatency, Network
+
+KEYS = ["orders/a", "orders/b", "orders/c", "ships/x", "ships/y"]
+FIELDS = ["status", "cost", "eta", "meta"]
+
+
+def random_value(rng, depth=0):
+    roll = rng.random()
+    if depth < 2 and roll < 0.25:
+        return {
+            f"f{i}": random_value(rng, depth + 1) for i in range(rng.randint(1, 3))
+        }
+    if depth < 2 and roll < 0.35:
+        return [random_value(rng, depth + 1) for _ in range(rng.randint(1, 3))]
+    if roll < 0.6:
+        return rng.randint(0, 1000)
+    return "v" * rng.randint(1, 30) + str(rng.randint(0, 9))
+
+
+def random_ops(seed, count=60):
+    """One seeded op sequence, replayable against any store."""
+    rng = random.Random(seed)
+    ops = []
+    live = set()
+    for _ in range(count):
+        roll = rng.random()
+        key = rng.choice(KEYS)
+        if key not in live or roll < 0.15:
+            key = rng.choice([k for k in KEYS if k not in live] or KEYS)
+            if key not in live:
+                ops.append(("create", key, {
+                    f: random_value(rng) for f in rng.sample(FIELDS, 2)
+                }))
+                live.add(key)
+                continue
+        if roll < 0.55:
+            patch = {rng.choice(FIELDS): random_value(rng)}
+            if rng.random() < 0.2:
+                patch[rng.choice(FIELDS)] = None  # deletion marker
+            ops.append(("patch", key, patch))
+        elif roll < 0.7:
+            ops.append(("update", key, {
+                f: random_value(rng) for f in rng.sample(FIELDS, 3)
+            }))
+        elif roll < 0.8 and len(live) > 1:
+            ops.append(("delete", key, None))
+            live.discard(key)
+        else:
+            patch = {rng.choice(FIELDS): random_value(rng)}
+            ops.append(("txn", key, patch))
+    return ops
+
+
+class Mirror:
+    """Watch consumer recording per-key event streams and live state."""
+
+    def __init__(self):
+        self.state = {}
+        self.per_key = {}
+
+    def absorb(self, event):
+        self.per_key.setdefault(event.key, []).append(
+            (event.type, None if event.object is None else dict(event.object),
+             event.revision)
+        )
+        if event.type == DELETED:
+            self.state.pop(event.key, None)
+        else:
+            self.state[event.key] = event.object
+
+
+def run_sequence(ops, zero_copy, delta_watch, drop_at=None):
+    """Apply ``ops``; returns (final_state_json, mirror, watch, server)."""
+    env = Environment()
+    net = Network(env, default_latency=FixedLatency(0.0))
+    server = MemKV(env, net, watch_overhead=0.0,
+                   zero_copy=zero_copy, delta_watch=delta_watch)
+    client = MemKVClient(server, location="tester")
+    mirror = Mirror()
+    watch = client.watch(mirror.absorb)
+
+    def call(proc):
+        return env.run(until=proc)
+
+    for index, (verb, key, payload) in enumerate(ops):
+        if drop_at is not None and index == drop_at:
+            server.drop_next_watch_message()
+        try:
+            if verb == "create":
+                call(client.create(key, payload))
+            elif verb == "patch":
+                call(client.patch(key, payload))
+            elif verb == "update":
+                call(client.update(key, payload))
+            elif verb == "delete":
+                call(client.delete(key))
+            else:  # txn
+                call(client.txn([{"action": "patch", "key": key,
+                                  "patch": payload}]))
+        except Exception:
+            pass  # op raced a delete; both stores see identical failures
+    env.run()
+    state = {
+        key: view["data"]
+        for key, view in (
+            (k, call(client.get(k))) for k in sorted(server._objects)
+        )
+    }
+    return json.dumps(state, sort_keys=True), mirror, watch, server
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 7, 13, 42])
+def test_cow_delta_equivalent_to_deepcopy_snapshot(seed):
+    ops = random_ops(seed)
+    base_state, base_mirror, _, base_server = run_sequence(
+        ops, zero_copy=False, delta_watch=False
+    )
+    cow_state, cow_mirror, _, cow_server = run_sequence(
+        ops, zero_copy=True, delta_watch=True
+    )
+    assert cow_state == base_state
+    assert set(cow_mirror.per_key) == set(base_mirror.per_key)
+    for key in base_mirror.per_key:
+        assert cow_mirror.per_key[key] == base_mirror.per_key[key], key
+    # And the optimized plane actually copied less.
+    assert (
+        cow_server.copy_meter.copied_bytes
+        < base_server.copy_meter.copied_bytes
+    )
+
+
+@pytest.mark.parametrize("seed", [3, 11, 29])
+def test_injected_drop_resyncs_and_converges(seed):
+    ops = random_ops(seed)
+    # Drop a mid-sequence watch message: the delta chain breaks for the
+    # keys it carried; gap detection + per-key resync must converge the
+    # mirror to the same final state as the unbroken baseline.
+    drop_at = len(ops) // 2
+    base_state, base_mirror, _, _ = run_sequence(
+        ops, zero_copy=False, delta_watch=False
+    )
+    cow_state, cow_mirror, watch, _ = run_sequence(
+        ops, zero_copy=True, delta_watch=True, drop_at=drop_at
+    )
+    assert cow_state == base_state
+    assert watch.active  # resync healed the stream, no break needed
+    assert json.dumps(cow_mirror.state, sort_keys=True) == json.dumps(
+        base_mirror.state, sort_keys=True
+    )
+    # Revisions per key still strictly increase in the mirror's view.
+    for key, events in cow_mirror.per_key.items():
+        revisions = [rev for (_t, _o, rev) in events]
+        assert revisions == sorted(revisions), key

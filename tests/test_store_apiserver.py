@@ -1,5 +1,7 @@
 """Unit tests for the apiserver-like Object store."""
 
+import copy
+
 import pytest
 
 from repro.errors import (
@@ -8,7 +10,15 @@ from repro.errors import (
     NotFoundError,
     StoreError,
 )
-from repro.store import ADDED, DELETED, MODIFIED, ApiServer, ApiServerClient
+from repro.simnet.network import Network
+from repro.store import (
+    ADDED,
+    DELETED,
+    MODIFIED,
+    ApiServer,
+    ApiServerClient,
+    FrozenViewError,
+)
 from repro.store.apiserver import merge_patch
 
 
@@ -117,7 +127,33 @@ class TestPatch:
 
 
 class TestIsolation:
-    def test_returned_snapshot_is_a_copy(self, client, call):
+    def test_returned_snapshot_is_immutable(self, client, call):
+        # Zero-copy reads hand out frozen views: mutation raises instead
+        # of silently diverging from (or corrupting) store state.
+        call(client.create("k", {"nested": {"v": 1}}))
+        view = call(client.get("k"))
+        with pytest.raises(FrozenViewError):
+            view["data"]["nested"]["v"] = 999
+        assert call(client.get("k"))["data"]["nested"]["v"] == 1
+
+    def test_thawed_snapshot_is_a_private_copy(self, client, call):
+        call(client.create("k", {"nested": {"v": 1}}))
+        mine = call(client.get("k"))["data"].thaw()
+        mine["nested"]["v"] = 999
+        assert call(client.get("k"))["data"]["nested"]["v"] == 1
+
+    def test_deepcopy_of_view_is_mutable(self, client, call):
+        # Legacy copy-then-edit code keeps working: deepcopy of a frozen
+        # view is a plain mutable structure.
+        call(client.create("k", {"nested": {"v": 1}}))
+        mine = copy.deepcopy(call(client.get("k"))["data"])
+        mine["nested"]["v"] = 999
+        assert call(client.get("k"))["data"]["nested"]["v"] == 1
+
+    def test_classic_mode_still_copies(self, env, call):
+        network = Network(env)
+        server = ApiServer(env, network, zero_copy=False)
+        client = ApiServerClient(server, server.location)
         call(client.create("k", {"nested": {"v": 1}}))
         view = call(client.get("k"))
         view["data"]["nested"]["v"] = 999

@@ -1,0 +1,225 @@
+"""Unit tests for the copy-on-write object layer (`repro.store.cow`)."""
+
+import copy
+import json
+
+import pytest
+
+from repro.store.cow import (
+    CopyMeter,
+    CowList,
+    CowMap,
+    FrozenViewError,
+    copy_value,
+    diff_shared,
+    estimate_size,
+    freeze,
+    is_frozen,
+    mask_shared,
+    merge_shared,
+    thaw,
+)
+
+
+class TestFreeze:
+    def test_freeze_produces_frozen_views(self):
+        value = {"a": 1, "b": {"c": [1, 2, {"d": 3}]}}
+        frozen = freeze(value)
+        assert is_frozen(frozen)
+        assert isinstance(frozen, dict)  # still a dict: isinstance-safe
+        assert isinstance(frozen["b"], CowMap)
+        assert isinstance(frozen["b"]["c"], CowList)
+        assert frozen == value
+
+    def test_freeze_is_idempotent_and_shares(self):
+        frozen = freeze({"a": {"b": 1}})
+        assert freeze(frozen) is frozen
+
+    def test_tuple_becomes_frozen_list(self):
+        frozen = freeze({"t": (1, 2)})
+        assert isinstance(frozen["t"], CowList)
+        assert frozen["t"] == [1, 2]
+
+    def test_scalars_pass_through(self):
+        for scalar in (None, True, 3, 2.5, "s"):
+            assert freeze(scalar) is scalar
+
+    def test_json_serializable(self):
+        frozen = freeze({"a": [1, {"b": 2}]})
+        assert json.loads(json.dumps(frozen)) == {"a": [1, {"b": 2}]}
+
+
+class TestFrozenSemantics:
+    def test_map_mutators_raise(self):
+        frozen = freeze({"a": 1})
+        with pytest.raises(FrozenViewError):
+            frozen["b"] = 2
+        with pytest.raises(FrozenViewError):
+            del frozen["a"]
+        with pytest.raises(FrozenViewError):
+            frozen.update({"b": 2})
+        with pytest.raises(FrozenViewError):
+            frozen.pop("a")
+        with pytest.raises(FrozenViewError):
+            frozen.clear()
+        with pytest.raises(FrozenViewError):
+            frozen.setdefault("b", 2)
+        assert frozen == {"a": 1}
+
+    def test_list_mutators_raise(self):
+        frozen = freeze([1, 2])
+        with pytest.raises(FrozenViewError):
+            frozen.append(3)
+        with pytest.raises(FrozenViewError):
+            frozen[0] = 9
+        with pytest.raises(FrozenViewError):
+            frozen.sort()
+        with pytest.raises(FrozenViewError):
+            frozen += [3]
+        assert list(frozen) == [1, 2]
+
+    def test_frozen_error_is_a_type_error(self):
+        # Code catching TypeError for "immutable" keeps working.
+        assert issubclass(FrozenViewError, TypeError)
+
+    def test_thaw_gives_plain_mutable_copy(self):
+        frozen = freeze({"a": {"b": [1]}})
+        mine = frozen.thaw()
+        assert type(mine) is dict
+        assert type(mine["a"]) is dict
+        assert type(mine["a"]["b"]) is list
+        mine["a"]["b"].append(2)
+        assert frozen["a"]["b"] == [1]
+
+    def test_deepcopy_gives_plain_mutable_copy(self):
+        frozen = freeze({"a": {"b": [1]}})
+        mine = copy.deepcopy(frozen)
+        assert type(mine) is dict
+        mine["a"]["b"].append(2)
+        assert frozen["a"]["b"] == [1]
+
+    def test_shallow_copy_gives_plain_dict(self):
+        frozen = freeze({"a": 1})
+        assert type(copy.copy(frozen)) is dict
+        assert type(dict(frozen)) is dict
+
+
+class TestMergeShared:
+    def test_merge_semantics_match_merge_patch(self):
+        from repro.store.objectops import merge_patch
+
+        base = {"a": {"x": 1, "y": 2}, "b": 1, "c": [1, 2]}
+        patch = {"a": {"y": 9, "z": 3}, "b": None, "d": "new"}
+        assert merge_shared(freeze(base), patch) == merge_patch(base, patch)
+
+    def test_base_is_untouched(self):
+        base = freeze({"a": {"x": 1}})
+        merge_shared(base, {"a": {"x": 2}})
+        assert base == {"a": {"x": 1}}
+
+    def test_untouched_subtrees_are_shared(self):
+        base = freeze({"hot": {"v": 1}, "cold": {"big": [1] * 100}})
+        merged = merge_shared(base, {"hot": {"v": 2}})
+        assert merged["cold"] is base["cold"]  # pointer-shared, not copied
+        assert merged["hot"]["v"] == 2
+
+    def test_result_is_frozen(self):
+        merged = merge_shared(freeze({"a": 1}), {"b": {"c": 2}})
+        assert is_frozen(merged)
+        assert is_frozen(merged["b"])
+        with pytest.raises(FrozenViewError):
+            merged["b"]["c"] = 9
+
+    def test_none_deletes(self):
+        merged = merge_shared(freeze({"a": 1, "b": 2}), {"a": None})
+        assert merged == {"b": 2}
+
+    def test_meter_charges_path_not_object(self):
+        meter = CopyMeter()
+        base = freeze({"hot": {"v": 1}, "cold": {"blob": "x" * 10_000}})
+        merge_shared(base, {"hot": {"v": 2}}, meter)
+        # A deepcopy would have cost >10KB; the path copy is tiny.
+        assert 0 < meter.copied_bytes < 1_000
+
+
+class TestDiffShared:
+    def test_diff_roundtrips_through_merge(self):
+        old = freeze({"a": {"x": 1, "y": 2}, "b": 1, "keep": "k"})
+        new = freeze({"a": {"x": 1, "y": 9, "z": 3}, "keep": "k", "c": [1]})
+        delta = diff_shared(old, new)
+        assert merge_shared(old, delta) == new
+
+    def test_equal_objects_diff_empty(self):
+        value = freeze({"a": {"b": [1, 2]}})
+        assert diff_shared(value, value) == {}
+
+    def test_removed_keys_become_none(self):
+        assert diff_shared({"a": 1, "b": 2}, {"a": 1}) == {"b": None}
+
+    def test_nested_change_is_minimal(self):
+        old = {"a": {"x": 1, "y": 2}, "blob": "x" * 1000}
+        new = {"a": {"x": 1, "y": 3}, "blob": "x" * 1000}
+        delta = diff_shared(old, new)
+        assert delta == {"a": {"y": 3}}
+        assert estimate_size(delta) < estimate_size(new) / 10
+
+
+class TestMaskShared:
+    def test_masks_secret_leaves(self):
+        data = freeze({"public": 1, "card": {"number": "4111", "exp": "12/30"}})
+        masked = mask_shared(data, ["card.number"])
+        assert masked == {"public": 1, "card": {"exp": "12/30"}}
+        assert data["card"]["number"] == "4111"  # original intact
+
+    def test_unmasked_subtrees_shared(self):
+        data = freeze({"keep": {"big": [1] * 50}, "secret": "s"})
+        masked = mask_shared(data, ["secret"])
+        assert masked["keep"] is data["keep"]
+
+    def test_missing_paths_are_noops(self):
+        data = freeze({"a": 1})
+        assert mask_shared(data, ["nope", "a.b.c"]) == {"a": 1}
+
+    def test_scalar_parent_not_replaced(self):
+        # Masking x.y where x is a scalar must not turn x into a dict.
+        data = freeze({"x": 5})
+        assert mask_shared(data, ["x.y"]) == {"x": 5}
+
+
+class TestCopyMeter:
+    def test_records_by_site(self):
+        meter = CopyMeter()
+        copy_value({"a": "x" * 100}, meter, "snapshot")
+        copy_value({"b": 1}, meter, "mask")
+        snap = meter.snapshot()
+        assert snap["copies"] == 2
+        assert set(snap["by_site"]) == {"snapshot", "mask"}
+        assert snap["copied_bytes"] > 100
+
+    def test_shared_accounting(self):
+        meter = CopyMeter()
+        meter.shared(500)
+        assert meter.shared_views == 1
+        assert meter.shared_bytes_avoided == 500
+
+    def test_merge_snapshots(self):
+        a, b = CopyMeter(), CopyMeter()
+        a.record(100, "ingest")
+        b.record(50, "ingest")
+        b.record(10, "merge")
+        merged = CopyMeter.merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["copied_bytes"] == 160
+        assert merged["by_site"] == {"ingest": 150, "merge": 10}
+
+
+class TestThaw:
+    def test_thaw_deep(self):
+        frozen = freeze({"a": [{"b": 1}]})
+        plain = thaw(frozen)
+        assert type(plain) is dict
+        assert type(plain["a"]) is list
+        assert type(plain["a"][0]) is dict
+
+    def test_thaw_passthrough_scalars(self):
+        assert thaw(5) == 5
+        assert thaw("s") == "s"

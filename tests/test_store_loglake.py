@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import AlreadyExistsError, NotFoundError, StoreError
-from repro.store import LogLake, LogLakeClient
+from repro.store import FrozenViewError, LogLake, LogLakeClient
 
 
 @pytest.fixture
@@ -104,10 +104,15 @@ class TestQuery:
         original = call(client.query("motion"))
         assert original[0]["a"] == 1
 
-    def test_query_results_are_copies(self, client, call):
+    def test_query_results_are_frozen_views(self, client, call):
+        # Scan results alias the pool's frozen rows (zero-copy): local
+        # mutation raises instead of corrupting the pool.
         call(client.load("motion", [{"nested": {"v": 1}}]))
         rows = call(client.query("motion"))
-        rows[0]["nested"]["v"] = 999
+        with pytest.raises(FrozenViewError):
+            rows[0]["nested"]["v"] = 999
+        mine = rows[0].thaw()
+        mine["nested"]["v"] = 999
         assert call(client.query("motion"))[0]["nested"]["v"] == 1
 
     def test_scan_cost_scales_with_pool_size(self, env, server, client, call):

@@ -81,10 +81,11 @@ class TestCommands:
 class TestUDF:
     def test_fcall_runs_server_side(self, server, client, call):
         def double(ctx, key):
-            view = ctx.get(key)
-            view["data"]["v"] *= 2
-            ctx.update(key, view["data"])
-            return view["data"]["v"]
+            # UDFs read frozen views; thaw for a local working copy.
+            data = ctx.get(key)["data"].thaw()
+            data["v"] *= 2
+            ctx.update(key, data)
+            return data["v"]
 
         server.functions.register("double", double)
         call(client.create("k", {"v": 21}))
