@@ -1,0 +1,242 @@
+"""Observability overhead: tracing-on vs tracing-off on the retail app.
+
+The causal tracer and metrics registry are designed to be **virtual-time
+neutral**: trace contexts ride out-of-band (stripped before request
+sizing), span bookkeeping happens in synchronous sections, and no
+instrumentation path adds a simulated delay.  The simulated ops
+throughput with tracing enabled must therefore stay within 10% of the
+disabled run -- that is the gated claim.  Wall-clock overhead (the real
+cost of the Python bookkeeping) is reported informationally; it is not
+gated because CI machine noise would make it flaky.
+
+The traced run's artifacts are also written for CI upload:
+``BENCH_obs_trace.json`` (Chrome trace-event JSON of every causal span)
+and ``BENCH_obs_metrics.json`` (the full registry snapshot).
+
+Run directly (``python benchmarks/bench_obs_overhead.py [--smoke]``),
+via ``knactor bench obs-overhead``, or under pytest
+(``pytest benchmarks/bench_obs_overhead.py``).
+"""
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.apps.retail.knactor_app import RetailKnactorApp
+from repro.apps.retail.workload import OrderWorkload
+from repro.core.optimizer import K_APISERVER
+
+SEED = 23
+_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = _ROOT / "BENCH_obs_overhead.json"
+TRACE_OUTPUT = _ROOT / "BENCH_obs_trace.json"
+METRICS_OUTPUT = _ROOT / "BENCH_obs_metrics.json"
+
+ORDERS = 24
+SMOKE_ORDERS = 8
+PATCH_ROUNDS = 6
+SMOKE_PATCH_ROUNDS = 3
+
+#: The gated floor: simulated throughput with tracing on, as a fraction
+#: of tracing off.  The ISSUE budget is 10%; neutrality makes it ~1.0.
+MIN_SIM_RATIO = 0.9
+
+
+def run_case(obs, orders=ORDERS, patch_rounds=PATCH_ROUNDS):
+    """One retail order+patch burst, with or without the obs plane."""
+    wall_started = time.perf_counter()
+    app = RetailKnactorApp.build(
+        profile=K_APISERVER, with_notify=True, seed=SEED, obs=obs or None,
+    )
+    workload = OrderWorkload(seed=SEED)
+    batch = workload.orders(orders)
+
+    backend = app.de.backend
+    ops_before = sum(backend.op_counts.values())
+    started = app.env.now
+    burst = [app.place_order(key, data) for key, data in batch]
+    app.env.run(until=app.env.all_of(burst))
+    window = app.env.now - started
+    ops_in_window = sum(backend.op_counts.values()) - ops_before
+    app.run_until_quiet(max_seconds=300.0)
+
+    owner = app.runtime.handle_of("checkout")
+    patches = [
+        owner.patch(key, {"email": f"shopper+{round_}@example.com"})
+        for round_ in range(patch_rounds)
+        for key in app.orders_placed
+    ]
+    app.env.run(until=app.env.all_of(patches))
+    app.run_until_quiet(max_seconds=120.0)
+
+    wall = time.perf_counter() - wall_started
+    total_ops = sum(backend.op_counts.values())
+    case = {
+        "obs": bool(obs),
+        "orders": orders,
+        "burst_window_s": window,
+        "ops_in_burst": ops_in_window,
+        "ops_per_sim_sec": ops_in_window / window if window > 0 else 0.0,
+        "total_store_ops": total_ops,
+        "sim_seconds": app.env.now,
+        "wall_seconds": wall,
+    }
+    if obs:
+        plane = app.runtime.obs
+        case["spans"] = len(plane.causal.spans)
+        case["traces"] = len(plane.causal.trace_ids())
+        case["trace_events"] = plane.causal.to_chrome_trace()
+        case["metrics_snapshot"] = plane.snapshot()
+    return case
+
+
+def run_sweep(smoke=False):
+    orders = SMOKE_ORDERS if smoke else ORDERS
+    patch_rounds = SMOKE_PATCH_ROUNDS if smoke else PATCH_ROUNDS
+    baseline = run_case(False, orders=orders, patch_rounds=patch_rounds)
+    traced = run_case(True, orders=orders, patch_rounds=patch_rounds)
+    sim_ratio = (
+        traced["ops_per_sim_sec"] / baseline["ops_per_sim_sec"]
+        if baseline["ops_per_sim_sec"] else 0.0
+    )
+    wall_overhead = (
+        traced["wall_seconds"] / baseline["wall_seconds"] - 1.0
+        if baseline["wall_seconds"] else 0.0
+    )
+    trace_events = traced.pop("trace_events")
+    metrics_snapshot = traced.pop("metrics_snapshot")
+    return {
+        "bench": "obs_overhead",
+        "seed": SEED,
+        "smoke": smoke,
+        "baseline": baseline,
+        "traced": traced,
+        "sim_throughput_ratio": sim_ratio,
+        "min_sim_ratio": MIN_SIM_RATIO,
+        "wall_overhead_frac": wall_overhead,
+        "same_store_ops": (
+            baseline["total_store_ops"] == traced["total_store_ops"]
+        ),
+        "_trace_events": trace_events,
+        "_metrics_snapshot": metrics_snapshot,
+    }
+
+
+def write_results(results, path=OUTPUT, trace_path=TRACE_OUTPUT,
+                  metrics_path=METRICS_OUTPUT):
+    trace_events = results.pop("_trace_events")
+    metrics_snapshot = results.pop("_metrics_snapshot")
+    Path(trace_path).write_text(
+        json.dumps({"traceEvents": trace_events}) + "\n"
+    )
+    Path(metrics_path).write_text(
+        json.dumps(metrics_snapshot, indent=2) + "\n"
+    )
+    path = Path(path)
+    path.write_text(json.dumps(results, indent=2) + "\n")
+    return path
+
+
+def describe(results):
+    base, traced = results["baseline"], results["traced"]
+    lines = ["observability overhead (retail app, order + patch burst)"]
+    lines.append(
+        f"{'case':>12} {'sim ops/s':>10} {'store ops':>10} "
+        f"{'sim s':>7} {'wall s':>7} {'spans':>6}"
+    )
+    for case in (base, traced):
+        name = "tracing-on" if case["obs"] else "tracing-off"
+        lines.append(
+            f"{name:>12} {case['ops_per_sim_sec']:>10.0f} "
+            f"{case['total_store_ops']:>10} {case['sim_seconds']:>7.2f} "
+            f"{case['wall_seconds']:>7.2f} {case.get('spans', '-'):>6}"
+        )
+    lines.append(
+        f"sim throughput ratio (on/off): "
+        f"{results['sim_throughput_ratio']:.4f} "
+        f"(gate: >= {results['min_sim_ratio']})"
+    )
+    lines.append(
+        f"wall-clock overhead: {results['wall_overhead_frac'] * 100:+.1f}% "
+        "(informational, not gated)"
+    )
+    return "\n".join(lines)
+
+
+# -- pytest surface --------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    """Module-scoped smoke sweep; writes all three artifacts."""
+    results = run_sweep(smoke=True)
+    write_results(results)
+    return results
+
+
+def test_tracing_within_ten_percent(sweep, report):
+    assert sweep["sim_throughput_ratio"] >= MIN_SIM_RATIO, (
+        f"tracing cut simulated throughput to "
+        f"{sweep['sim_throughput_ratio']:.3f}x of baseline "
+        f"(floor {MIN_SIM_RATIO})"
+    )
+    report(describe(sweep))
+
+
+def test_tracing_changes_no_store_traffic(sweep):
+    """Neutrality, the strong form: identical op counts either way."""
+    assert sweep["same_store_ops"], (
+        f"tracing changed store traffic: "
+        f"{sweep['baseline']['total_store_ops']} ops off vs "
+        f"{sweep['traced']['total_store_ops']} on"
+    )
+
+
+def test_trace_artifact_is_valid_chrome_json(sweep):
+    data = json.loads(TRACE_OUTPUT.read_text())
+    events = data["traceEvents"]
+    assert events, "traced run exported no spans"
+    for entry in events:
+        assert entry["ph"] in ("X", "i")
+        assert isinstance(entry["ts"], (int, float))
+        if entry["ph"] == "X":
+            assert entry["dur"] >= 0
+
+
+def test_metrics_artifact_written(sweep):
+    snapshot = json.loads(METRICS_OUTPUT.read_text())
+    assert "metrics" in snapshot and "traces" in snapshot
+    assert "store_ops_total" in snapshot["metrics"]["metrics"]
+
+
+# -- CLI surface -----------------------------------------------------------
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Measure tracing-on vs tracing-off on the retail app."
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sweep (CI): fewer orders and patches")
+    parser.add_argument("--out", default=str(OUTPUT),
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+    results = run_sweep(smoke=args.smoke)
+    path = write_results(results, args.out)
+    print(describe(results))
+    print(f"wrote {path}, {TRACE_OUTPUT.name}, {METRICS_OUTPUT.name}")
+    if results["sim_throughput_ratio"] < MIN_SIM_RATIO:
+        print(
+            f"FAIL: sim throughput ratio "
+            f"{results['sim_throughput_ratio']:.3f} "
+            f"< {MIN_SIM_RATIO}"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

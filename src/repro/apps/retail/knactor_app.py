@@ -16,6 +16,7 @@ from repro.core import Cast, Knactor, KnactorRuntime, StoreBinding
 from repro.core.optimizer import K_APISERVER, OptimizationProfile
 from repro.errors import ConfigurationError
 from repro.exchange import ObjectDE
+from repro.obs.context import use
 from repro.simnet import Environment, Network, Tracer
 from repro.store import ApiServer, MemKV, ShardedStore
 
@@ -91,7 +92,7 @@ class RetailKnactorApp:
     @classmethod
     def build(cls, env=None, profile=K_APISERVER, seed=7, with_notify=True,
               dxg=None, retry_policy=None, shards=1, watch_batch_window=0.0,
-              zero_copy=True, delta_watch=False):
+              zero_copy=True, delta_watch=False, obs=None):
         """Construct the full app under an optimization profile.
 
         ``dxg`` overrides the main integrator's spec (the Table 2 bench
@@ -106,11 +107,14 @@ class RetailKnactorApp:
         keeps store state as frozen structurally-shared views (reads
         alias, writes path-copy); ``delta_watch`` ships merge-patch
         deltas instead of full snapshots on the watch/replication plane.
+        ``obs=True`` attaches a :class:`repro.obs.ObsPlane`: every
+        ``place_order`` opens a causal trace that follows the order
+        through stores, integrators, and reconcilers.
         """
         env = env if env is not None else Environment()
         network = Network(env, default_latency=config.NETWORK_HOP)
         tracer = Tracer(env)
-        runtime = KnactorRuntime(env, network=network, tracer=tracer)
+        runtime = KnactorRuntime(env, network=network, tracer=tracer, obs=obs)
 
         if profile.backend == "apiserver":
             calibration = config.APISERVER
@@ -197,12 +201,27 @@ class RetailKnactorApp:
 
         Returns the create-process event.  The rest of the flow -- the
         shipment, the charge, the back-filled order fields -- happens via
-        the integrator with no further calls.
+        the integrator with no further calls.  With the observability
+        plane attached, the order gets a root causal trace (baggage:
+        the order key) that the downstream exchange/reconcile chain
+        extends automatically.
         """
         handle = self.runtime.handle_of("checkout")
         self.tracer.record("request", "start", key=key)
         self.orders_placed.append(key)
-        return handle.create(key, data)
+        obs = self.runtime.obs
+        if obs is None:
+            return handle.create(key, data)
+        root = obs.causal.new_trace(
+            "place-order", service="frontend", baggage={"order": key}, key=key,
+        )
+        with use(root):
+            proc = handle.create(key, data)
+        # The root span covers the synchronous create round trip; the
+        # causal chain it seeded keeps growing underneath it.
+        proc.callbacks.append(
+            lambda _evt: obs.causal.end_span(root, outcome="ok"))
+        return proc
 
     def order(self, key):
         """Current order state (the owner's view); process event."""

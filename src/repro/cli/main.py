@@ -8,7 +8,10 @@ Subcommands:
 - ``knactor table1``                  -- regenerate Table 1,
 - ``knactor table2 [--orders N]``     -- regenerate Table 2,
 - ``knactor analyze FILE``            -- statically analyze a DXG file,
-- ``knactor bench shard-scaling|zero-copy`` -- run a benchmark,
+- ``knactor bench shard-scaling|zero-copy|obs-overhead`` -- run a benchmark,
+- ``knactor trace export FILE``       -- Chrome trace-event JSON of a run,
+- ``knactor trace request KEY``       -- one order's causal DAG + critical path,
+- ``knactor top``                     -- text dashboard of every metric,
 - ``knactor version``.
 """
 
@@ -148,20 +151,29 @@ def cmd_analyze(args):
     return 0 if report.ok else 1
 
 
-def cmd_trace(args):
-    import json
-
+def _run_traced_retail(profile, orders):
+    """One seeded retail run with the observability plane attached."""
     from repro.apps.retail.knactor_app import RetailKnactorApp
     from repro.apps.retail.workload import OrderWorkload
     from repro.core.optimizer import PROFILES
 
-    app = RetailKnactorApp.build(profile=PROFILES[args.profile])
+    app = RetailKnactorApp.build(profile=PROFILES[profile], obs=True)
     workload = OrderWorkload(seed=7)
-    for _ in range(args.orders):
+    for _ in range(orders):
         key, data = workload.next_order()
         app.env.run(until=app.place_order(key, data))
     app.run_until_quiet(max_seconds=60.0)
-    entries = app.tracer.to_chrome_trace()
+    return app
+
+
+def cmd_trace_export(args):
+    import json
+
+    app = _run_traced_retail(args.profile, args.orders)
+    # Causal spans (per-request DAG) and the latency tracer's flat
+    # events land in one file; distinct pid tracks keep them apart.
+    entries = app.runtime.obs.causal.to_chrome_trace()
+    entries += app.tracer.to_chrome_trace()
     with open(args.output, "w") as f:
         json.dump({"traceEvents": entries}, f)
     print(f"wrote {len(entries)} trace events to {args.output}")
@@ -169,10 +181,33 @@ def cmd_trace(args):
     return 0
 
 
+def cmd_trace_request(args):
+    app = _run_traced_retail(args.profile, args.orders)
+    causal = app.runtime.obs.causal
+    key = args.key
+    trace_id = causal.find_trace(order=key)
+    if trace_id is None and not key.startswith("order/"):
+        trace_id = causal.find_trace(order=f"order/{key}")
+    if trace_id is None:
+        placed = ", ".join(app.orders_placed) or "none"
+        print(f"error: no trace for order {key!r} (placed: {placed})",
+              file=sys.stderr)
+        return 1
+    print(causal.request_report(trace_id))
+    return 0
+
+
+def cmd_top(args):
+    app = _run_traced_retail(args.profile, args.orders)
+    print(app.runtime.obs.dashboard())
+    return 0
+
+
 #: bench subcommand name -> module under benchmarks/.
 BENCHMARKS = {
     "shard-scaling": "bench_shard_scaling",
     "zero-copy": "bench_zero_copy_delta",
+    "obs-overhead": "bench_obs_overhead",
 }
 
 
@@ -265,13 +300,35 @@ def build_parser():
     bench.set_defaults(fn=cmd_bench)
 
     trace = sub.add_parser(
-        "trace", help="run a retail demo and export a Chrome trace JSON"
+        "trace", help="causal tracing over a seeded retail run"
     )
-    trace.add_argument("output", help="path for the trace JSON file")
-    trace.add_argument("--orders", type=int, default=2)
-    trace.add_argument("--profile", default="K-redis",
-                       choices=["K-apiserver", "K-redis", "K-redis-udf"])
-    trace.set_defaults(fn=cmd_trace)
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    export = trace_sub.add_parser(
+        "export", help="export causal + latency spans as Chrome trace JSON"
+    )
+    export.add_argument("output", help="path for the trace JSON file")
+    export.add_argument("--orders", type=int, default=2)
+    export.add_argument("--profile", default="K-redis",
+                        choices=["K-apiserver", "K-redis", "K-redis-udf"])
+    export.set_defaults(fn=cmd_trace_export)
+
+    request = trace_sub.add_parser(
+        "request", help="print one order's causal DAG and critical path"
+    )
+    request.add_argument("key", help="order key (e.g. order/o00001 or o00001)")
+    request.add_argument("--orders", type=int, default=2)
+    request.add_argument("--profile", default="K-redis",
+                         choices=["K-apiserver", "K-redis", "K-redis-udf"])
+    request.set_defaults(fn=cmd_trace_request)
+
+    top = sub.add_parser(
+        "top", help="text dashboard of every metric after a retail run"
+    )
+    top.add_argument("--orders", type=int, default=3)
+    top.add_argument("--profile", default="K-redis",
+                     choices=["K-apiserver", "K-redis", "K-redis-udf"])
+    top.set_defaults(fn=cmd_top)
 
     return parser
 

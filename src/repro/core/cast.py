@@ -22,6 +22,7 @@ from repro.errors import (
     UnavailableError,
 )
 from repro.faults.dlq import DeadLetterQueue
+from repro.obs.context import use
 from repro.core.dxg import DXGExecutor, analyze, parse_dxg, standard_functions
 from repro.core.dxg.executor import ExecutorOptions
 from repro.core.dxg.parser import DXGSpec, build_spec
@@ -74,6 +75,7 @@ class Cast(Integrator):
         self._globals = {}
         self._watches = []
         self._queue = OrderedDict()
+        self._cid_ctx = {}  # cid -> causal ctx of the latest triggering commit
         self._wakeups = []
         self._workers = []
         self._in_flight = set()
@@ -282,6 +284,10 @@ class Cast(Integrator):
         else:
             self._seen_cids.add(cid)
             self._queue[cid] = True
+            # The commit that triggered this exchange is its causal
+            # parent (lookup-object fan-outs keep no per-cid parent:
+            # one global change is not "the" cause of N exchanges).
+            self._cid_ctx[cid] = getattr(event, "ctx", None)
 
     def _kick(self):
         pending, self._wakeups = self._wakeups, []
@@ -322,6 +328,12 @@ class Cast(Integrator):
     def _process(self, env, cid):
         tracer = self.runtime.tracer
         tracer.record("cast", "begin", integrator=self.name, cid=cid)
+        parent = self._cid_ctx.pop(cid, None)
+        octx = None
+        if parent is not None and parent.sink is not None:
+            octx = parent.sink.start_span(
+                "exchange", service=self.name, parent=parent, cid=cid,
+            )
         compute = self.compute_cost_per_assignment * len(
             self.executor.spec.assignments
         )
@@ -330,9 +342,14 @@ class Cast(Integrator):
         tracer.record("cast", "writes.begin", integrator=self.name, cid=cid)
         try:
             if self.pushdown:
-                yield self._udf_client.fcall(self._udf_name, cid)
+                # The fcall request captures the ambient context
+                # synchronously, so the pushdown UDF's server-side
+                # writes chain onto the exchange span.
+                with use(octx):
+                    work = self._udf_client.fcall(self._udf_name, cid)
+                yield work
             else:
-                yield self.executor.exchange(cid)
+                yield self.executor.exchange(cid, ctx=octx)
         except AccessDeniedError as exc:
             # A run-time access policy (e.g. sleep hours) vetoed this
             # exchange.  That is policy working, not a crash: count it and
@@ -342,6 +359,8 @@ class Cast(Integrator):
                 "cast", "denied", integrator=self.name, cid=cid,
                 reason=str(exc),
             )
+            if octx is not None:
+                octx.sink.end_span(octx, outcome="denied")
             return
         except (UnavailableError, ConflictError) as exc:
             # Transient substrate failure (crashed/partitioned store,
@@ -349,6 +368,9 @@ class Cast(Integrator):
             # max_exchange_attempts the cid is parked in the DLQ so one
             # unreachable group never wedges the worker pool.
             self.unavailable_count += 1
+            if octx is not None:
+                octx.sink.end_span(octx, outcome=type(exc).__name__)
+                self._cid_ctx.setdefault(cid, parent)  # retried: re-parent
             self._retry_later(env, cid, exc)
             return
         except DXGError as exc:
@@ -359,10 +381,14 @@ class Cast(Integrator):
                 "cast", "error", integrator=self.name, cid=cid,
                 reason=str(exc),
             )
+            if octx is not None:
+                octx.sink.end_span(octx, outcome="dxg-error")
             return
         self._exchange_failures.pop(cid, None)
         self.exchanges_run += 1
         tracer.record("cast", "end", integrator=self.name, cid=cid)
+        if octx is not None:
+            octx.sink.end_span(octx, outcome="ok")
 
     def _retry_later(self, env, cid, exc):
         count = self._exchange_failures.get(cid, 0) + 1

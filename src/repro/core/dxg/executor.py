@@ -38,6 +38,7 @@ from repro.errors import (
 )
 from repro.core.dxg.functions import standard_functions
 from repro.core.dxg.planner import plan as build_plan
+from repro.obs.context import bind_generator, current_context
 from repro.store.cow import is_frozen
 from repro.util.paths import get_path, set_path
 
@@ -228,17 +229,27 @@ class DXGExecutor:
 
     # -- the exchange (remote path) ----------------------------------------------
 
-    def exchange(self, cid):
-        """Run the data exchange for one correlation id (simnet process)."""
-        return self.env.process(self._exchange(cid))
+    def exchange(self, cid, ctx=None):
+        """Run the data exchange for one correlation id (simnet process).
 
-    def _exchange(self, cid):
+        With ``ctx``, the whole fixpoint runs with that causal context
+        ambient, so every read and write the exchange performs chains
+        onto the integrator's exchange span.
+        """
+        return self.env.process(self._exchange(cid, ctx=ctx))
+
+    def _exchange(self, cid, ctx=None):
+        def bound(gen):
+            # The fixpoint's reads/writes happen in sub-processes; each
+            # needs the causal context re-armed around its resumptions.
+            return bind_generator(gen, ctx) if ctx is not None else gen
+
         stats = ExchangeStats()
         for _pass in range(self.options.max_passes):
             stats.passes += 1
-            objects = yield self.env.process(self._gather(cid, stats))
+            objects = yield self.env.process(bound(self._gather(cid, stats)))
             wrote = yield self.env.process(
-                self._run_steps(cid, objects, stats)
+                bound(self._run_steps(cid, objects, stats))
             )
             if not wrote:
                 break
@@ -292,9 +303,11 @@ class DXGExecutor:
 
     def _run_steps(self, cid, objects, stats):
         if self.options.transactional:
-            wrote = yield self.env.process(
-                self._run_steps_txn(cid, objects, stats)
-            )
+            work = self._run_steps_txn(cid, objects, stats)
+            ctx = current_context()  # armed by _exchange's bound() wrapper
+            if ctx is not None:
+                work = bind_generator(work, ctx)
+            wrote = yield self.env.process(work)
             return wrote
         wrote = False
         for step in self.plan.steps:

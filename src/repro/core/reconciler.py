@@ -34,6 +34,7 @@ from repro.errors import (
     UnavailableError,
 )
 from repro.faults.dlq import DeadLetterQueue
+from repro.obs.context import span_process
 
 
 class ReconcilerContext:
@@ -105,6 +106,7 @@ class Reconciler:
         )
         self.ctx = None
         self._queue = OrderedDict()  # key -> latest event type (dedup, FIFO)
+        self._pending_ctx = {}  # key -> causal ctx of the latest commit
         self._log_cursors = {}  # local_name -> next unseen _seq
         self._wakeup = None
         self._running = False
@@ -325,6 +327,9 @@ class Reconciler:
             )
             self._queue[event.key] = event.type
             self._queue.move_to_end(event.key)
+            # Coalescing keeps the LATEST commit's causal context: the
+            # reconcile pass acts on the state that commit produced.
+            self._pending_ctx[event.key] = getattr(event, "ctx", None)
         self._kick()
 
     def _make_log_handler(self, local_name):
@@ -352,7 +357,17 @@ class Reconciler:
                 self._wakeup = None
                 continue
             key, _event_type = self._queue.popitem(last=False)
-            yield env.process(self._reconcile_once(env, key))
+            parent = self._pending_ctx.pop(key, None)
+            work = self._reconcile_once(env, key)
+            if parent is not None and parent.sink is not None:
+                # Re-attach: the reconcile span parents off the commit
+                # that dirtied the key, and its context is ambient for
+                # every store request the pass makes downstream.
+                octx = parent.sink.start_span(
+                    "reconcile", service=self.name, parent=parent, key=key,
+                )
+                work = span_process(work, octx)
+            yield env.process(work)
 
     def _backoff_delay(self, attempt):
         """Capped exponential backoff with seeded jitter.

@@ -10,16 +10,28 @@ reconfigured at run time.
 from repro.errors import ConfigurationError, NotFoundError
 from repro.core.knactor import Knactor
 from repro.core.reconciler import ReconcilerContext
+from repro.obs import ObsPlane
 from repro.simnet import Network, Tracer
 
 
 class KnactorRuntime:
-    """Hosts knactors + integrators over a set of Data Exchanges."""
+    """Hosts knactors + integrators over a set of Data Exchanges.
 
-    def __init__(self, env, network=None, tracer=None):
+    With ``obs=True`` (or a pre-built :class:`repro.obs.ObsPlane`), the
+    runtime attaches the observability plane to its tracer -- store
+    servers and watches reach it through ``tracer.obs`` -- and binds its
+    component registries for metric scraping.  ``obs=None`` (default)
+    leaves tracing/metrics off with zero overhead.
+    """
+
+    def __init__(self, env, network=None, tracer=None, obs=None):
         self.env = env
         self.network = network if network is not None else Network(env)
         self.tracer = tracer if tracer is not None else Tracer(env)
+        self.obs = None
+        if obs is not None and obs is not False:
+            plane = obs if isinstance(obs, ObsPlane) else ObsPlane(env)
+            self.obs = plane.attach(self.tracer).bind_runtime(self)
         self.exchanges = {}  # name -> DataExchange
         self.knactors = {}
         self.integrators = {}

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
 from repro.core.integrator import Integrator
+from repro.obs.context import bind_generator, current_context, span_process
 from repro.store.zql import compile_query
 
 
@@ -160,7 +161,17 @@ class Sync(Integrator):
                 source=bound.flow.source,
                 count=len(event.object["records"]),
             )
-            env.process(self._move(env, bound, event.object["records"]))
+            work = self._move(env, bound, event.object["records"])
+            parent = getattr(event, "ctx", None)
+            if parent is not None and parent.sink is not None:
+                # The load that appended this batch is the causal parent
+                # of the flow run that moves it downstream.
+                octx = parent.sink.start_span(
+                    "sync-flow", service=self.name, parent=parent,
+                    source=bound.flow.source, target=bound.flow.target,
+                )
+                work = span_process(work, octx)
+            env.process(work)
 
         return handler
 
@@ -186,7 +197,11 @@ class Sync(Integrator):
             if cost > 0:
                 yield env.timeout(cost)
             records = pipeline([dict(r) for r in batch_records])
-        yield env.process(self._deliver(env, bound, records))
+        deliver = self._deliver(env, bound, records)
+        ctx = current_context()  # armed by the sync-flow span wrapper
+        if ctx is not None:
+            deliver = bind_generator(deliver, ctx)
+        yield env.process(deliver)
 
     def _deliver(self, env, bound, records):
         clean = [

@@ -185,6 +185,8 @@ class ObjectStoreHandle(StoreHandle):
                 key=event.key[len(self.hosted.key_prefix) :],
                 object=view["data"],
                 revision=event.revision,
+                ctx=event.ctx,
+                committed_at=event.committed_at,
             )
 
         wrapped = None

@@ -26,6 +26,7 @@ from repro.errors import (
     ReproError,
     RPCStatusError,
 )
+from repro.obs.context import current_context
 
 #: RPC status codes considered transient (kept as literals so this module
 #: does not import :mod:`repro.rpc`).
@@ -172,15 +173,22 @@ class RetryPolicy:
         :class:`~repro.errors.CircuitOpenError` without touching the
         network.
         """
-        return env.process(self._run(env, factory, breaker))
+        # Captured synchronously at call creation: retries then annotate
+        # the calling span even though attempts run unbound later.
+        ctx = current_context()
+        return env.process(self._run(env, factory, breaker, ctx))
 
-    def _run(self, env, factory, breaker):
+    def _run(self, env, factory, breaker, ctx=None):
+        sink = ctx.sink if ctx is not None else None
         start = env.now
         attempt = 0
         while True:
             attempt += 1
             if breaker is not None and not breaker.allow():
                 self.rejected += 1
+                if sink is not None:
+                    sink.annotate(ctx, "circuit-rejected",
+                                  breaker=breaker.name or "?")
                 raise CircuitOpenError(
                     f"circuit {breaker.name or '?'} is open"
                 )
@@ -215,19 +223,31 @@ class RetryPolicy:
                     breaker.record_failure()
                 if attempt >= self.max_attempts:
                     self.giveups += 1
+                    if sink is not None:
+                        sink.annotate(ctx, "giveup", attempts=attempt,
+                                      error=type(exc).__name__)
                     raise
                 if self.budget is not None and self.retries >= self.budget:
                     self.giveups += 1
+                    if sink is not None:
+                        sink.annotate(ctx, "giveup", attempts=attempt,
+                                      error="retry budget exhausted")
                     raise
                 delay = self.backoff_delay(attempt)
                 if (self.deadline is not None
                         and env.now - start + delay >= self.deadline):
                     self.giveups += 1
+                    if sink is not None:
+                        sink.annotate(ctx, "giveup", attempts=attempt,
+                                      error="deadline exhausted")
                     raise DeadlineExceededError(
                         f"deadline {self.deadline}s exhausted after "
                         f"{attempt} attempts"
                     ) from exc
                 self.retries += 1
+                if sink is not None:
+                    sink.annotate(ctx, "retry", attempt=attempt, delay=delay,
+                                  error=type(exc).__name__)
                 yield env.timeout(delay)
             else:
                 if breaker is not None:

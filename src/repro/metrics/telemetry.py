@@ -56,6 +56,9 @@ def runtime_snapshot(runtime):
         if de.retry_policy is not None:
             entry["retry"] = de.retry_policy.stats()
         snapshot["exchanges"][name] = entry
+    obs = getattr(runtime, "obs", None)
+    if obs is not None:
+        snapshot["obs"] = obs.snapshot()
     return snapshot
 
 
@@ -170,8 +173,14 @@ class SLOReport:
     observed_seconds: float
     sample_count: int
     met: bool
+    no_data: bool = False
 
     def describe(self):
+        if self.no_data:
+            return (
+                f"SLO {self.name}: NO DATA (0 samples) vs target "
+                f"{self.target_seconds * 1000:.2f} ms -> NOT MET"
+            )
         status = "MET" if self.met else "VIOLATED"
         return (
             f"SLO {self.name}: p{int(self.percentile * 100)} "
@@ -198,12 +207,26 @@ class SLOMonitor:
             raise ConfigurationError("percentile must be in (0, 1]")
 
     def evaluate(self, tracer):
-        """Evaluate against the trace; returns (and records) a report."""
+        """Evaluate against the trace; returns (and records) a report.
+
+        Zero recorded spans is an *answer*, not a configuration error: a
+        dead integrator should read as a violated objective, never crash
+        the monitoring loop.  The report carries ``no_data=True`` and
+        ``met=False``.
+        """
         durations = exchange_durations(tracer, self.integrator)
         if not durations:
-            raise ConfigurationError(
-                f"no exchange spans recorded for {self.integrator!r}"
+            report = SLOReport(
+                name=self.name,
+                target_seconds=self.target_seconds,
+                percentile=self.percentile,
+                observed_seconds=0.0,
+                sample_count=0,
+                met=False,
+                no_data=True,
             )
+            self.reports.append(report)
+            return report
         stats = summarize(durations)
         key = f"p{int(self.percentile * 100)}"
         observed = stats.get(key)

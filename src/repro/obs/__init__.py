@@ -1,0 +1,47 @@
+"""The unified observability plane (paper §5).
+
+"Deployment issues such as ... observability, such as monitoring knactor
+SLOs through distributed tracing and telemetry, are also worth
+exploring."  Data-centric composition replaces the RPC call-chain with
+state flowing through Data Exchanges, so classic request tracing has
+nothing to hook: services never call each other.  This package restores
+end-to-end visibility from the data plane itself:
+
+- :mod:`repro.obs.context` -- a :class:`TraceContext` carried on every
+  store write, stamped into watch/delta events, WAL records, pub/sub
+  messages and RPC calls, and re-attached when reconcilers and
+  integrators read state and write downstream;
+- :mod:`repro.obs.causal` -- the :class:`CausalTracer` that turns those
+  contexts into a per-request causal DAG spanning services and stores;
+- :mod:`repro.obs.registry` -- labeled counters/gauges/histograms with
+  sim-time-aware windowing behind one ``Registry.snapshot()``;
+- :mod:`repro.obs.plane` -- the :class:`ObsPlane` tying both to a
+  running :class:`~repro.core.runtime.KnactorRuntime`.
+"""
+
+from repro.obs.causal import CausalSpan, CausalTracer
+from repro.obs.context import (
+    TraceContext,
+    activate,
+    bind_generator,
+    current_context,
+    restore,
+    span_process,
+    use,
+)
+from repro.obs.plane import ObsPlane
+from repro.obs.registry import Registry
+
+__all__ = [
+    "CausalSpan",
+    "CausalTracer",
+    "ObsPlane",
+    "Registry",
+    "TraceContext",
+    "activate",
+    "bind_generator",
+    "current_context",
+    "restore",
+    "span_process",
+    "use",
+]

@@ -1,0 +1,155 @@
+"""The observability plane: one causal tracer + one metrics registry.
+
+The plane attaches to the runtime's existing
+:class:`~repro.simnet.trace.Tracer` (as its ``obs`` attribute), which
+is already threaded into every store server -- so deep components reach
+the plane with zero new constructor plumbing.  ``bind_runtime``
+registers pull collectors that scrape the runtime's scattered counters
+(store ops, watch wire bytes, CopyMeter, retry stats, queue depths,
+dead letters) into the registry at snapshot time.
+"""
+
+from repro.obs.causal import CausalTracer
+from repro.obs.registry import Registry
+
+
+class ObsPlane:
+    """Everything observability for one simulation run."""
+
+    def __init__(self, env):
+        self.env = env
+        self.causal = CausalTracer(env)
+        self.causal.plane = self
+        self.registry = Registry(env)
+
+    def attach(self, tracer):
+        """Make this plane reachable from a latency tracer (``tracer.obs``)."""
+        tracer.obs = self
+        return self
+
+    # -- runtime scraping ----------------------------------------------------
+
+    def bind_runtime(self, runtime, breakers=()):
+        """Scrape a runtime's component counters at every snapshot.
+
+        Reads the live registries (``runtime.knactors`` etc.) at collect
+        time, so components registered *after* binding are still seen.
+        """
+        breakers = list(breakers)
+
+        def collect(reg):
+            for name, knactor in runtime.knactors.items():
+                reconciler = knactor.reconciler
+                if reconciler is None:
+                    continue
+                reg.counter("reconciles_total", knactor=name).set_total(
+                    reconciler.reconcile_count)
+                reg.counter("reconcile_conflicts_total", knactor=name
+                            ).set_total(reconciler.error_count)
+                reg.gauge("reconciler_queue_depth", knactor=name).set(
+                    len(reconciler._queue))
+                reg.gauge("dead_letters", component=name).set(
+                    len(reconciler.dead_letters))
+            for name, integrator in runtime.integrators.items():
+                runs = getattr(integrator, "exchanges_run", None)
+                if runs is not None:
+                    reg.counter("exchanges_total", integrator=name
+                                ).set_total(runs)
+                dlq = getattr(integrator, "dead_letters", None)
+                if dlq is not None:
+                    reg.gauge("dead_letters", component=name).set(len(dlq))
+                queue = getattr(integrator, "_queue", None)
+                if queue is not None:
+                    reg.gauge("integrator_queue_depth", integrator=name
+                              ).set(len(queue))
+            for name, de in runtime.exchanges.items():
+                backend = de.backend
+                for op, count in backend.op_counts.items():
+                    reg.counter("store_ops_total", exchange=name, op=op
+                                ).set_total(count)
+                reg.counter("watch_messages_total", exchange=name
+                            ).set_total(backend.watch_messages_sent)
+                reg.counter("watch_events_total", exchange=name
+                            ).set_total(backend.watch_events_sent)
+                reg.counter("watch_wire_bytes_total", exchange=name
+                            ).set_total(backend.watch_wire_bytes)
+                reg.counter("watch_deltas_total", exchange=name
+                            ).set_total(backend.watch_deltas_sent)
+                reg.counter("watch_fulls_total", exchange=name
+                            ).set_total(backend.watch_fulls_sent)
+                reg.gauge("store_available", exchange=name).set(
+                    1.0 if backend.available else 0.0)
+                copy_stats = getattr(backend, "copy_stats", None)
+                if copy_stats is not None:
+                    reg.counter("copied_bytes_total", exchange=name
+                                ).set_total(copy_stats["copied_bytes"])
+                    reg.counter("copy_bytes_avoided_total", exchange=name
+                                ).set_total(
+                                    copy_stats["shared_bytes_avoided"])
+                if de.retry_policy is not None:
+                    stats = de.retry_policy.stats()
+                    for field in ("attempts", "retries", "giveups"):
+                        reg.counter(f"retry_{field}_total", exchange=name
+                                    ).set_total(stats[field])
+            reg.counter("network_bytes_total").set_total(
+                runtime.network.bytes_sent)
+            for breaker in breakers:
+                stats = breaker.stats()
+                label = breaker.name or repr(breaker)
+                reg.gauge("circuit_open", breaker=label).set(
+                    1.0 if stats["state"] == "open" else 0.0)
+                reg.counter("circuit_opened_total", breaker=label
+                            ).set_total(stats["opened"])
+                reg.counter("circuit_rejected_total", breaker=label
+                            ).set_total(stats["rejected"])
+
+        self.registry.register_collector(collect)
+        return self
+
+    def watch_breakers(self, breakers):
+        """Late-bind client-side circuit breakers into the scrape set."""
+        def collect(reg):
+            for breaker in breakers:
+                stats = breaker.stats()
+                label = breaker.name or repr(breaker)
+                reg.gauge("circuit_open", breaker=label).set(
+                    1.0 if stats["state"] == "open" else 0.0)
+
+        self.registry.register_collector(collect)
+
+    # -- summary views -------------------------------------------------------
+
+    def snapshot(self):
+        """Metrics + trace-volume summary, all plain JSON data."""
+        return {
+            "metrics": self.registry.snapshot(),
+            "traces": {
+                "count": len(self.causal.trace_ids()),
+                "spans": len(self.causal.spans),
+            },
+        }
+
+    def dashboard(self):
+        """The ``knactor top`` text view: every metric, one line per series."""
+        snapshot = self.registry.snapshot()
+        lines = [f"time {snapshot['time']:.3f}s  "
+                 f"traces {len(self.causal.trace_ids())}  "
+                 f"spans {len(self.causal.spans)}"]
+        for name, entry in snapshot["metrics"].items():
+            for key, value in entry["series"].items():
+                label = f"{{{key}}}" if key else ""
+                if entry["kind"] == "histogram":
+                    if not value["count"]:
+                        continue
+                    p99 = value["p99"]
+                    rendered = (
+                        f"count={value['count']} p50={value['p50']:.6f} "
+                        f"p99={p99:.6f}" if p99 is not None
+                        else f"count={value['count']}"
+                    )
+                else:
+                    rendered = (f"{value:.0f}" if float(value).is_integer()
+                                else f"{value:.4f}")
+                title = f"{name}{label}"
+                lines.append(f"  {title:<56} {rendered}")
+        return "\n".join(lines)

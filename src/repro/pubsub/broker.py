@@ -8,6 +8,7 @@ per-message broker forwarding overhead.
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.obs.context import current_context, use
 from repro.store.base import estimate_size
 
 
@@ -44,6 +45,7 @@ class _Retained:
     topic: str
     payload: bytes
     retained_at: float = 0.0
+    ctx: object = None  # causal context of the retaining publish
 
 
 class Broker:
@@ -71,39 +73,56 @@ class Broker:
         self._subscriptions.append(subscription)
         for topic, retained in self._retained.items():
             if topic_matches(pattern, topic):
-                self._deliver(subscription, topic, retained.payload)
+                self._deliver(subscription, topic, retained.payload,
+                              retained.ctx)
         return subscription
 
     def publish(self, topic, payload, publisher_location, retain=False):
         """Publish; returns a process event (fires when broker accepted).
 
         Delivery to subscribers continues asynchronously after accept,
-        matching QoS-0/1 behaviour.
+        matching QoS-0/1 behaviour.  The publisher's ambient trace
+        context (captured synchronously here) rides the message: each
+        delivery runs the subscriber's handler under a publish span, so
+        even fire-and-forget messaging joins the causal DAG.
         """
         if "+" in topic or "#" in topic:
             raise ConfigurationError(f"cannot publish to wildcard topic {topic!r}")
+        ctx = current_context()
+        if ctx is not None and ctx.sink is not None:
+            ctx = ctx.sink.point(
+                "publish", service=publisher_location, parent=ctx, topic=topic,
+            )
         return self.env.process(self._publish(topic, payload, publisher_location,
-                                              retain))
+                                              retain, ctx))
 
-    def _publish(self, topic, payload, publisher_location, retain):
+    def _publish(self, topic, payload, publisher_location, retain, ctx=None):
         yield self.network.transfer(publisher_location, self.location)
         delay = self.forward_overhead + self.per_byte * estimate_size(payload)
         yield self.env.timeout(delay)
         self.published += 1
         if retain:
-            self._retained[topic] = _Retained(topic, payload, self.env.now)
+            self._retained[topic] = _Retained(topic, payload, self.env.now,
+                                              ctx=ctx)
         for subscription in list(self._subscriptions):
             if subscription.active and topic_matches(subscription.pattern, topic):
-                self._deliver(subscription, topic, payload)
+                self._deliver(subscription, topic, payload, ctx)
 
-    def _deliver(self, subscription, topic, payload):
+    def _deliver(self, subscription, topic, payload, ctx=None):
         """Fire-and-forget delivery (QoS 0): a faulted link loses the
         message, and the broker only counts the drop -- exactly the
         at-most-once gap the data-centric substrate closes with
         replayable watch history."""
         link = self.network.link(self.location, subscription.location)
-        arrival = link.send(lambda msg: subscription.handler(*msg),
-                            (topic, payload))
+
+        def on_arrival(msg):
+            if ctx is not None:
+                with use(ctx):
+                    subscription.handler(*msg)
+            else:
+                subscription.handler(*msg)
+
+        arrival = link.send(on_arrival, (topic, payload))
         if arrival is None:
             self.dropped += 1
             return

@@ -21,6 +21,7 @@ the server's message definitions).
 from dataclasses import dataclass
 
 from repro.errors import IDLError, RPCError, RPCStatusError
+from repro.obs.context import bind_generator, current_context, use
 from repro.store.base import estimate_size
 
 #: gRPC-style status codes (subset).
@@ -84,14 +85,16 @@ class RPCServer:
     def unregister(self, service, method):
         self._methods.pop((service, method), None)
 
-    def dispatch(self, service, method, payload):
+    def dispatch(self, service, method, payload, ctx=None):
         """Server-side execution; returns a simnet process event.
 
-        The event's value is ``(status, response_or_message)``.
+        The event's value is ``(status, response_or_message)``.  With
+        ``ctx``, the handler runs with that causal context ambient, so
+        store writes it makes chain onto the caller's rpc span.
         """
-        return self.env.process(self._dispatch(service, method, payload))
+        return self.env.process(self._dispatch(service, method, payload, ctx))
 
-    def _dispatch(self, service, method, payload):
+    def _dispatch(self, service, method, payload, ctx=None):
         if not self.available:
             self.rejected_while_down += 1
             yield self.env.timeout(self.dispatch_overhead)
@@ -110,8 +113,14 @@ class RPCServer:
             except IDLError as exc:
                 return (INVALID_ARGUMENT, str(exc))
         try:
-            result = registration.handler(payload)
+            if ctx is not None:
+                with use(ctx):
+                    result = registration.handler(payload)
+            else:
+                result = registration.handler(payload)
             if hasattr(result, "send"):
+                if ctx is not None:
+                    result = bind_generator(result, ctx)
                 result = yield self.env.process(result)
         except RPCStatusError as exc:
             return (exc.code, exc.message)
@@ -154,9 +163,12 @@ class RPCChannel:
         Raises :class:`RPCStatusError` for non-OK statuses (including
         DEADLINE_EXCEEDED when the deadline elapses first).
         """
+        # Captured synchronously: every (possibly retried) attempt spans
+        # off the caller's context even though attempts run unbound.
+        parent = current_context()
         if self.retry_policy is None and self.circuit_breaker is None:
             return self.env.process(
-                self._call(service, method, payload or {}, deadline)
+                self._call(service, method, payload or {}, deadline, parent)
             )
         from repro.faults.retry import RetryPolicy
 
@@ -166,32 +178,49 @@ class RPCChannel:
         return policy.execute(
             self.env,
             lambda: self.env.process(
-                self._call(service, method, payload or {}, deadline)
+                self._call(service, method, payload or {}, deadline, parent)
             ),
             breaker=self.circuit_breaker,
         )
 
-    def _call(self, service, method, payload, deadline):
+    def _call(self, service, method, payload, deadline, parent=None):
         deadline = deadline if deadline is not None else self.default_deadline
         self.calls_made += 1
-        work = self.env.process(self._roundtrip(service, method, payload))
-        if deadline is None:
-            status, value = yield work
-        else:
-            timer = self.env.timeout(deadline, value=(DEADLINE_EXCEEDED, None))
-            first = yield self.env.any_of([work, timer])
-            status, value = next(iter(first.values()))
-            if status == DEADLINE_EXCEEDED:
-                raise RPCStatusError(
-                    DEADLINE_EXCEEDED, f"{service}/{method} after {deadline}s"
-                )
+        octx = None
+        if parent is not None and parent.sink is not None:
+            # One rpc span per attempt: retries show up as siblings.
+            octx = parent.sink.start_span(
+                f"rpc:{service}/{method}", service=self.client_location,
+                parent=parent, server=self.server.location,
+            )
+        work = self.env.process(self._roundtrip(service, method, payload, octx))
+        try:
+            if deadline is None:
+                status, value = yield work
+            else:
+                timer = self.env.timeout(deadline,
+                                         value=(DEADLINE_EXCEEDED, None))
+                first = yield self.env.any_of([work, timer])
+                status, value = next(iter(first.values()))
+        except Exception as exc:  # partitioned link, server crash, ...
+            if octx is not None:
+                octx.sink.end_span(octx, status=type(exc).__name__)
+            raise
+        if deadline is not None and status == DEADLINE_EXCEEDED:
+            if octx is not None:
+                octx.sink.end_span(octx, status=DEADLINE_EXCEEDED)
+            raise RPCStatusError(
+                DEADLINE_EXCEEDED, f"{service}/{method} after {deadline}s"
+            )
+        if octx is not None:
+            octx.sink.end_span(octx, status=status)
         if status != OK:
             raise RPCStatusError(status, str(value))
         return value
 
-    def _roundtrip(self, service, method, payload):
+    def _roundtrip(self, service, method, payload, ctx=None):
         net = self.server.network
         yield net.transfer(self.client_location, self.server.location)
-        status, value = yield self.server.dispatch(service, method, payload)
+        status, value = yield self.server.dispatch(service, method, payload, ctx)
         yield net.transfer(self.server.location, self.client_location)
         return (status, value)

@@ -40,7 +40,7 @@ from repro.simnet.network import (
     Network,
     UniformLatency,
 )
-from repro.simnet.trace import Span, Tracer
+from repro.simnet.trace import Span, TraceError, Tracer
 
 __all__ = [
     "AllOf",
@@ -60,6 +60,7 @@ __all__ = [
     "Span",
     "Store",
     "Timeout",
+    "TraceError",
     "Tracer",
     "UniformLatency",
 ]

@@ -6,6 +6,8 @@ record point events and spans on a shared :class:`Tracer`; the metrics layer
 aggregates them into the paper's rows.
 """
 
+from __future__ import annotations
+
 from collections import defaultdict
 from dataclasses import dataclass, field
 
@@ -27,7 +29,7 @@ class Span:
     category: str
     name: str
     start: float
-    end: float = None
+    end: float | None = None
     attrs: dict = field(default_factory=dict)
 
     @property
@@ -37,8 +39,18 @@ class Span:
         return self.end - self.start
 
 
+class TraceError(Exception):
+    """A tracing-protocol violation (e.g. ending a span never begun)."""
+
+
 class Tracer:
     """Collects point events and spans during a simulation run."""
+
+    #: Optional :class:`repro.obs.ObsPlane` attachment.  Store servers
+    #: and watches already hold a tracer reference, so hanging the
+    #: observability plane here makes it reachable everywhere without
+    #: new constructor plumbing.
+    obs = None
 
     def __init__(self, env):
         self.env = env
@@ -57,10 +69,20 @@ class Tracer:
         return span
 
     def end(self, category, name, key=None, **attrs):
-        """Close the matching open span and return it."""
+        """Close the matching open span and return it.
+
+        Raises :class:`TraceError` when no span ``begin(category, name,
+        key)`` is open -- naming the span and what *is* open, because a
+        silent ``KeyError`` from deep inside a reconciler is useless.
+        """
         span = self._open_spans.pop((category, name, key), None)
         if span is None:
-            raise KeyError(f"no open span ({category}, {name}, {key})")
+            open_now = sorted(str(k) for k in self._open_spans)
+            raise TraceError(
+                f"cannot end span {category}/{name} (key={key!r}): it was "
+                f"never begun or already ended; open spans: "
+                f"{open_now if open_now else 'none'}"
+            )
         span.end = self.env.now
         span.attrs.update(attrs)
         self.spans.append(span)

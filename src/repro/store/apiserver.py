@@ -106,6 +106,7 @@ class ApiServer(ObjectOpsMixin, StoreServer):
             durable = WatchEvent(
                 event.type, event.key, None, event.revision,
                 delta=event.delta, prev_revision=event.prev_revision,
+                ctx=event.ctx, committed_at=event.committed_at,
             )
         self.wal_bytes += durable.wire_size()
         self._wal.append(_WalRecord(self.env.now, durable, labels))
@@ -212,7 +213,9 @@ class ApiServer(ObjectOpsMixin, StoreServer):
                     labels=dict(record.labels),
                 )
                 full_events.append(
-                    WatchEvent(event.type, event.key, data, event.revision)
+                    WatchEvent(event.type, event.key, data, event.revision,
+                               ctx=event.ctx,
+                               committed_at=event.committed_at)
                 )
             self.revision = max(self.revision, event.revision)
         self._history = full_events[-self._history_limit:]

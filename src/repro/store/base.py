@@ -40,6 +40,7 @@ import copy
 from dataclasses import dataclass, field
 
 from repro.errors import StoreError, UnavailableError
+from repro.obs.context import activate, bind_generator, current_context, restore
 from repro.simnet.events import Interrupt
 from repro.simnet.queue import Resource
 from repro.store.cow import (
@@ -80,6 +81,14 @@ class WatchEvent:
     ``prev_revision`` into the object at ``revision``.  On the wire a
     delta-encoded event has ``object=None``; the client-side
     :class:`Watch` materializes the full object before handlers see it.
+
+    ``ctx`` is the causal :class:`~repro.obs.context.TraceContext` of
+    the commit that produced this event (None for untraced writes and
+    synthetic resync events); ``committed_at`` is the commit's virtual
+    time, from which watchers derive delivery lag.  Both are trace
+    metadata -- a handful of header bytes in a real system -- and are
+    deliberately excluded from :meth:`wire_size` so enabling tracing
+    never perturbs the simulated latency model.
     """
 
     type: str  # ADDED | MODIFIED | DELETED
@@ -88,6 +97,8 @@ class WatchEvent:
     revision: int
     delta: dict = None
     prev_revision: int = None
+    ctx: object = None
+    committed_at: float = None
 
     def wire_size(self):
         """Bytes this event occupies in one watch message."""
@@ -185,6 +196,14 @@ class Watch:
 
     def deliver(self, events):
         """Client-side arrival of one network message (1+ events)."""
+        obs = getattr(self._server.tracer, "obs", None)
+        if obs is not None:
+            now = self._server.env.now
+            lag = obs.registry.histogram(
+                "watch_lag_seconds", store=self._server.location)
+            for event in events:
+                if event.committed_at is not None:
+                    lag.observe(now - event.committed_at)
         ready = []
         for event in events:
             materialized = self._materialize(event)
@@ -217,7 +236,9 @@ class Watch:
             if event.object is None and last is not None:
                 # Tombstone on the wire; hand the handler the last-known
                 # object, matching snapshot-stream semantics.
-                return WatchEvent(DELETED, key, last[1], event.revision)
+                return WatchEvent(DELETED, key, last[1], event.revision,
+                                  ctx=event.ctx,
+                                  committed_at=event.committed_at)
             return event
         if event.object is None and event.delta is not None:
             base = self._state.get(key)
@@ -228,7 +249,8 @@ class Watch:
             merged = merge_shared(base[1], event.delta)
             self._state[key] = (event.revision, merged)
             self.delta_events += 1
-            return WatchEvent(event.type, key, merged, event.revision)
+            return WatchEvent(event.type, key, merged, event.revision,
+                              ctx=event.ctx, committed_at=event.committed_at)
         self._state[key] = (event.revision, event.object)
         self.full_events += 1
         return event
@@ -421,6 +443,12 @@ class StoreServer:
             method = getattr(self, f"op_{op}", None)
             if method is None:
                 raise StoreError(f"{type(self).__name__} has no operation {op!r}")
+            # Trace context rides out-of-band: strip it BEFORE sizing the
+            # request, so op latency is identical with tracing on or off.
+            # A copy, not a pop -- retried attempts reuse the args dict.
+            ctx = args.get("ctx")
+            if ctx is not None:
+                args = {k: v for k, v in args.items() if k != "ctx"}
             latency = self.OPS.get(op)
             if latency is not None:
                 size = estimate_size(args)
@@ -428,8 +456,15 @@ class StoreServer:
                 if delay > 0:
                     yield self.env.timeout(delay)
             self.op_counts[op] = self.op_counts.get(op, 0) + 1
-            result = method(**args)
+            token = activate(ctx) if ctx is not None else None
+            try:
+                result = method(**args)
+            finally:
+                if ctx is not None:
+                    restore(token)
             if hasattr(result, "send"):  # op implemented as a sub-process
+                if ctx is not None:
+                    result = bind_generator(result, ctx)
                 result = yield self.env.process(result)
             return result
         except Interrupt:
@@ -488,7 +523,8 @@ class StoreServer:
         key = event.key
         if event.type == DELETED:
             watch._sent_revisions.pop(key, None)
-            return WatchEvent(DELETED, key, None, event.revision)
+            return WatchEvent(DELETED, key, None, event.revision,
+                              ctx=event.ctx, committed_at=event.committed_at)
         last_sent = watch._sent_revisions.get(key)
         watch._sent_revisions[key] = event.revision
         if (
@@ -500,9 +536,11 @@ class StoreServer:
             return WatchEvent(
                 event.type, key, None, event.revision,
                 delta=event.delta, prev_revision=event.prev_revision,
+                ctx=event.ctx, committed_at=event.committed_at,
             )
         self.watch_fulls_sent += 1
-        return WatchEvent(event.type, key, event.object, event.revision)
+        return WatchEvent(event.type, key, event.object, event.revision,
+                          ctx=event.ctx, committed_at=event.committed_at)
 
     def _send_to_watch(self, watch, events):
         """One network message carrying ``events``; False if it broke."""
@@ -708,7 +746,17 @@ class StoreClient:
         return self.server.copy_meter
 
     def request(self, op, **args):
-        """Round-trip one operation; returns a simnet process event."""
+        """Round-trip one operation; returns a simnet process event.
+
+        The caller's ambient trace context (if any) is captured here --
+        synchronously, before any scheduling -- and rides out-of-band in
+        the request args, so server-side commits can chain onto it.  The
+        retry factory closes over ``args``, so the context survives
+        retried attempts.
+        """
+        ctx = current_context()
+        if ctx is not None:
+            args["ctx"] = ctx
         if self.retry_policy is None and self.circuit_breaker is None:
             return self.env.process(self._request(op, args))
         from repro.faults.retry import RetryPolicy

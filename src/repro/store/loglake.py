@@ -11,6 +11,7 @@ Watchers subscribe per pool and receive each loaded batch.
 """
 
 from repro.errors import AlreadyExistsError, NotFoundError, StoreError
+from repro.obs.context import current_context
 from repro.store.base import OpLatency, StoreClient, StoreServer, WatchEvent
 from repro.store.cow import CowMap, copy_value, estimate_size, freeze
 from repro.store.zql import compile_query
@@ -105,9 +106,16 @@ class LogLake(StoreServer):
                 count=len(stamped),
             )
         if stamped:
+            ctx = current_context()
+            if ctx is not None and ctx.sink is not None:
+                ctx = ctx.sink.point(
+                    "load", service=self.location, parent=ctx, pool=pool,
+                    store=pool, count=len(stamped),
+                )
             event = WatchEvent(
                 APPENDED, pool, {"records": stamped, "first_seq": first_seq},
                 revision=target.next_seq,
+                ctx=ctx, committed_at=self.env.now,
             )
             if self.watch_overhead <= 0:
                 self.notify(event)

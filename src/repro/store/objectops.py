@@ -21,6 +21,7 @@ from repro.errors import (
     NotFoundError,
     StoreError,
 )
+from repro.obs.context import current_context
 from repro.store.base import ADDED, DELETED, MODIFIED, StoredObject, WatchEvent
 from repro.store.cow import copy_value, diff_shared, estimate_size, freeze, merge_shared
 
@@ -211,9 +212,22 @@ class ObjectOpsMixin:
         }
 
     def _commit(self, event_type, obj, delta=None, prev_revision=None):
+        # Causal stamping: when the committing request carries a trace
+        # context, mint a zero-duration "write" span under it and make
+        # THAT the event's context -- downstream consumers (integrators,
+        # reconcilers) parent off the write, so the DAG reads
+        # request -> write -> exchange -> write -> reconcile -> ...
+        ctx = current_context()
+        if ctx is not None and ctx.sink is not None:
+            ctx = ctx.sink.point(
+                "write", service=self.location, parent=ctx, key=obj.key,
+                store=obj.key.split("/", 1)[0], type=event_type,
+                revision=obj.revision,
+            )
         event = WatchEvent(
             event_type, obj.key, self._snapshot(obj), obj.revision,
             delta=delta, prev_revision=prev_revision,
+            ctx=ctx, committed_at=self.env.now,
         )
         self._record_commit(event)
         if self.tracer is not None:

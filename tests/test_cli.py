@@ -59,11 +59,37 @@ class TestCLI:
 
     def test_trace_export(self, tmp_path, capsys):
         out_file = tmp_path / "trace.json"
-        assert main(["trace", str(out_file), "--orders", "1"]) == 0
+        assert main(["trace", "export", str(out_file), "--orders", "1"]) == 0
         import json
 
         data = json.loads(out_file.read_text())
         assert len(data["traceEvents"]) > 10
+        # Both span planes land in the file: causal DAG spans plus the
+        # latency tracer's flat events.
+        categories = {entry["cat"] for entry in data["traceEvents"]}
+        assert "causal" in categories and len(categories) > 1
+
+    def test_trace_requires_subcommand(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["trace", str(tmp_path / "trace.json")])
+
+    def test_trace_request(self, capsys):
+        assert main(["trace", "request", "o00001", "--orders", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "critical path:" in out
+        assert "place-order" in out
+        assert "order/o00001" in out
+
+    def test_trace_request_unknown_order(self, capsys):
+        assert main(["trace", "request", "o99999", "--orders", "1"]) == 1
+        err = capsys.readouterr().err
+        assert "no trace" in err and "order/o00001" in err
+
+    def test_top(self, capsys):
+        assert main(["top", "--orders", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "store_ops_total" in out
+        assert "traces 1" in out
 
     def test_bench_names_resolve_to_modules(self):
         from pathlib import Path

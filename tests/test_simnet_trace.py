@@ -41,7 +41,9 @@ class TestTracer:
         assert sorted(tracer.durations("stage", "work")) == [3.0, 3.0]
 
     def test_end_unknown_span_raises(self, tracer):
-        with pytest.raises(KeyError):
+        from repro.simnet import TraceError
+
+        with pytest.raises(TraceError, match="stage/missing"):
             tracer.end("stage", "missing")
 
     def test_open_span_duration_raises(self, env, tracer):
