@@ -7,7 +7,7 @@ order is fulfilled -- composition logic consolidated into two integrator
 modules instead of scattered across service codebases.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro import config
 from repro.apps.retail import knactors as recs
@@ -16,6 +16,7 @@ from repro.core import Cast, Knactor, KnactorRuntime, StoreBinding
 from repro.core.optimizer import K_APISERVER, OptimizationProfile
 from repro.errors import ConfigurationError
 from repro.exchange import ObjectDE
+from repro.flow import INTEGRATOR, FlowConfig
 from repro.obs.context import use
 from repro.simnet import Environment, Network, Tracer
 from repro.store import ApiServer, MemKV, ShardedStore
@@ -88,11 +89,12 @@ class RetailKnactorApp:
     profile: OptimizationProfile
     tracer: Tracer = None
     orders_placed: list = field(default_factory=list)
+    flow: FlowConfig = None
 
     @classmethod
     def build(cls, env=None, profile=K_APISERVER, seed=7, with_notify=True,
               dxg=None, retry_policy=None, shards=1, watch_batch_window=0.0,
-              zero_copy=True, delta_watch=False, obs=None):
+              zero_copy=True, delta_watch=False, obs=None, flow=None):
         """Construct the full app under an optimization profile.
 
         ``dxg`` overrides the main integrator's spec (the Table 2 bench
@@ -109,9 +111,17 @@ class RetailKnactorApp:
         deltas instead of full snapshots on the watch/replication plane.
         ``obs=True`` attaches a :class:`repro.obs.ObsPlane`: every
         ``place_order`` opens a causal trace that follows the order
-        through stores, integrators, and reconcilers.
+        through stores, integrators, and reconcilers.  ``flow=True`` (or
+        a :class:`repro.flow.FlowConfig`) turns on the backpressure
+        plane end to end: credit windows on every watch the exchange
+        mints, bounded reconciler work queues, and token-bucket + AIMD
+        admission control at the store front door with the integrator
+        casts in the high-priority class.
         """
         env = env if env is not None else Environment()
+        flow_cfg = None
+        if flow:
+            flow_cfg = flow if isinstance(flow, FlowConfig) else FlowConfig()
         network = Network(env, default_latency=config.NETWORK_HOP)
         tracer = Tracer(env)
         runtime = KnactorRuntime(env, network=network, tracer=tracer, obs=obs)
@@ -140,7 +150,21 @@ class RetailKnactorApp:
             )
         else:
             backend = make_backend("object-backend")
-        de = ObjectDE(env, backend, retry_policy=retry_policy)
+        if flow_cfg is not None:
+            # The integrator casts outrank knactor/bench traffic at the
+            # admission front door; explicit overrides win.
+            principals = {"retail-cast": INTEGRATOR, "notify-cast": INTEGRATOR}
+            principals.update(flow_cfg.principals)
+            flow_cfg = replace(flow_cfg, principals=principals)
+            if shards > 1:
+                backend.set_admission(lambda: flow_cfg.build_admission(env))
+            else:
+                backend.admission = flow_cfg.build_admission(env)
+        de = ObjectDE(
+            env, backend, retry_policy=retry_policy,
+            watch_credits=flow_cfg.watch_credits if flow_cfg else None,
+            watch_overflow=flow_cfg.watch_overflow if flow_cfg else None,
+        )
         runtime.add_exchange("object", de)
 
         for name, schema in ALL_SCHEMAS.items():
@@ -148,6 +172,9 @@ class RetailKnactorApp:
             reconciler = (
                 reconciler_cls(seed=seed) if name == "shipping" else reconciler_cls()
             )
+            if flow_cfg is not None:
+                reconciler.max_queue = flow_cfg.reconciler_queue
+                reconciler.queue_overflow = flow_cfg.reconciler_overflow
             runtime.add_knactor(
                 Knactor(
                     name,
@@ -192,6 +219,7 @@ class RetailKnactorApp:
             notify_cast=notify_cast,
             profile=profile,
             tracer=tracer,
+            flow=flow_cfg,
         )
 
     # -- driving the app ---------------------------------------------------------

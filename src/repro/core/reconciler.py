@@ -30,10 +30,12 @@ from repro.errors import (
     ConfigurationError,
     ConflictError,
     NotFoundError,
+    OverloadedError,
     ReproError,
     UnavailableError,
 )
 from repro.faults.dlq import DeadLetterQueue
+from repro.flow.policy import BLOCK, SHED_OLDEST, check_overflow
 from repro.obs.context import span_process
 
 
@@ -78,6 +80,11 @@ class Reconciler:
     - ``max_retries`` / ``backoff`` / ``backoff_jitter``: transient-retry
       policy (conflicts and unavailability) within one reconcile pass,
     - ``max_requeues``: failed passes a key gets before dead-lettering,
+    - ``max_queue`` / ``queue_overflow``: bound on the dirty-key work
+      queue (``None`` = unbounded).  When a new key arrives at a full
+      queue, the overflow policy decides which key is shed; shed keys
+      land in the dead-letter queue so resyncs/operators can replay
+      them -- level triggering makes a shed safe, never silent.
     - ``log_subscriptions``: local names of Log stores whose appended
       batches should be delivered to :meth:`on_log_batch`.
     """
@@ -87,10 +94,13 @@ class Reconciler:
     backoff = config.RECONCILER_BACKOFF
     backoff_jitter = config.RECONCILER_BACKOFF_JITTER
     max_requeues = config.RECONCILER_MAX_REQUEUES
+    max_queue = None
+    queue_overflow = SHED_OLDEST
     log_subscriptions = ()
 
     def __init__(self, name=None, *, max_retries=None, backoff=None,
-                 backoff_jitter=None, max_requeues=None, dead_letters=None):
+                 backoff_jitter=None, max_requeues=None, dead_letters=None,
+                 max_queue=None, queue_overflow=None):
         self.name = name or type(self).__name__
         if max_retries is not None:
             self.max_retries = int(max_retries)
@@ -100,6 +110,11 @@ class Reconciler:
             self.backoff_jitter = float(backoff_jitter)
         if max_requeues is not None:
             self.max_requeues = int(max_requeues)
+        if max_queue is not None:
+            self.max_queue = int(max_queue)
+        if queue_overflow is not None:
+            self.queue_overflow = queue_overflow
+        check_overflow(self.queue_overflow)
         self.dead_letters = (
             dead_letters if dead_letters is not None
             else DeadLetterQueue(name=self.name)
@@ -119,6 +134,8 @@ class Reconciler:
         self.error_count = 0
         self.unavailable_count = 0
         self.kill_count = 0
+        self.shed_count = 0
+        self.queue_peak = 0
 
     # -- subclass surface -----------------------------------------------------
 
@@ -142,7 +159,7 @@ class Reconciler:
         unavailable): watch events only fire on state *changes*, so a
         reconcile that bails out must requeue explicitly to be retried.
         """
-        self._queue[key] = "REQUEUED"
+        self._mark_dirty(key, "REQUEUED")
         self._kick()
 
     # -- wiring (called by the Knactor/runtime) ----------------------------------
@@ -245,7 +262,7 @@ class Reconciler:
         if views is None:
             return
         for view in views:
-            self._queue.setdefault(view["key"], "RESYNC")
+            self._mark_dirty(view["key"], "RESYNC", overwrite=False)
         self._kick()
 
     def stop(self):
@@ -325,12 +342,52 @@ class Reconciler:
             self.ctx.trace(
                 "observed", store=self.name, key=event.key, type=event.type,
             )
-            self._queue[event.key] = event.type
-            self._queue.move_to_end(event.key)
+            if not self._mark_dirty(event.key, event.type):
+                continue
             # Coalescing keeps the LATEST commit's causal context: the
             # reconcile pass acts on the state that commit produced.
             self._pending_ctx[event.key] = getattr(event, "ctx", None)
         self._kick()
+
+    def _mark_dirty(self, key, event_type, overwrite=True):
+        """Mark ``key`` dirty under the bounded-queue policy.
+
+        Re-marking an already-dirty key never grows the queue (the dict
+        dedups), so the bound only bites on *new* keys.  Returns False
+        when the incoming key was shed.
+        """
+        if key in self._queue:
+            if overwrite:
+                self._queue[key] = event_type
+                self._queue.move_to_end(key)
+            return True
+        if (self.max_queue is not None
+                and len(self._queue) >= self.max_queue
+                and self.queue_overflow != BLOCK):
+            if self.queue_overflow == SHED_OLDEST:
+                old_key, old_type = self._queue.popitem(last=False)
+                self._pending_ctx.pop(old_key, None)
+                self._shed_key(old_key, old_type)
+            else:  # shed_newest / reject: the incoming key is the casualty
+                self._shed_key(key, event_type)
+                return False
+        self._queue[key] = event_type
+        self.queue_peak = max(self.queue_peak, len(self._queue))
+        return True
+
+    def _shed_key(self, key, event_type):
+        """Route one shed dirty-key to the DLQ (replayable, not silent)."""
+        self.shed_count += 1
+        now = self.ctx.env.now if self.ctx is not None else 0.0
+        self.dead_letters.push(
+            key,
+            OverloadedError(
+                f"work queue full ({self.max_queue}); {event_type} shed"
+            ),
+            attempts=0, time=now, source=self.name,
+        )
+        if self.ctx is not None:
+            self.ctx.trace("shed", key=key, type=event_type)
 
     def _make_log_handler(self, local_name):
         def handler(event):
@@ -426,7 +483,7 @@ class Reconciler:
         # fault, not the key's: requeue without counting it against the
         # key (a long outage must not dead-letter the whole keyspace).
         if transient == "unavailable":
-            self._queue.setdefault(key, "RETRY")
+            self._mark_dirty(key, "RETRY", overwrite=False)
         else:
             self._record_failure(
                 env, key,
@@ -444,4 +501,4 @@ class Reconciler:
             self.ctx.trace("dead-letter", key=key, error=str(exc))
         else:
             self._failures[key] = count
-            self._queue.setdefault(key, "RETRY")
+            self._mark_dirty(key, "RETRY", overwrite=False)

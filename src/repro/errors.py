@@ -49,6 +49,17 @@ class CircuitOpenError(UnavailableError):
     """A circuit breaker rejected the call without issuing it."""
 
 
+class OverloadedError(UnavailableError):
+    """Admission control (or a bounded queue) shed the request.
+
+    The component is up but refusing work to stay inside its queue
+    bounds -- graceful degradation instead of unbounded buffering.
+    Retryable (inherited): clients behind a
+    :class:`repro.faults.RetryPolicy` back off and re-offer the work,
+    which is exactly the AIMD response the limiter wants to induce.
+    """
+
+
 class DeadlineExceededError(ReproError):
     """A client-side timeout elapsed before the operation completed.
 

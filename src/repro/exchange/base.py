@@ -13,7 +13,6 @@ write only the fields annotated ``+kr: external`` (Object) or
 ``+kr: ingest`` (Log), unless the grant says otherwise.
 """
 
-import warnings
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError, NotFoundError
@@ -26,23 +25,6 @@ from repro.exchange.access import (
 )
 from repro.exchange.audit import AuditLog
 from repro.schema import Schema, SchemaRegistry
-
-#: Deprecation registry: each deprecated call form warns exactly ONCE per
-#: process (chaos suites call these in tight loops; a warning per call
-#: would drown real output).
-_WARNED = set()
-
-
-def _warn_once(key, message):
-    if key in _WARNED:
-        return
-    _WARNED.add(key)
-    warnings.warn(message, DeprecationWarning, stacklevel=3)
-
-
-def _reset_deprecation_warnings():
-    """Test hook: make the next deprecated call warn again."""
-    _WARNED.clear()
 
 
 @dataclass
@@ -64,7 +46,8 @@ class DataExchange:
     #: Verbs handed to a store owner.
     OWNER_VERBS = ALL_VERBS
 
-    def __init__(self, env, backend, name="de", retry_policy=None):
+    def __init__(self, env, backend, name="de", retry_policy=None,
+                 watch_credits=None, watch_overflow=None):
         self.env = env
         self.backend = backend
         self.name = name
@@ -72,6 +55,11 @@ class DataExchange:
         #: client this DE mints -- one knob makes the whole exchange
         #: ride through transient backend faults.
         self.retry_policy = retry_policy
+        #: DE-wide flow-control defaults: every handle this DE mints
+        #: inherits them unless ``handle(..., credits=, overflow=)``
+        #: overrides (see :mod:`repro.flow`).  None disables credit flow.
+        self.watch_credits = watch_credits
+        self.watch_overflow = watch_overflow
         self.schemas = SchemaRegistry()
         self.audit = AuditLog()
         self.acl = AccessController(audit=self.audit)
@@ -139,7 +127,7 @@ class DataExchange:
         self,
         principal,
         store_name,
-        *deprecated,
+        *_removed,
         role="integrator",
         verbs=None,
         write_fields=None,
@@ -159,27 +147,17 @@ class DataExchange:
           set; ``role`` is ignored.
 
         The pre-unification positional form ``grant(principal, store,
-        verbs, ...)`` still works but is deprecated (warns once); so are
-        the :meth:`grant_integrator` / :meth:`grant_reader` aliases.
+        verbs, ...)`` was removed after its deprecation window; it now
+        raises :class:`TypeError` (as do the old ``grant_integrator`` /
+        ``grant_reader`` aliases).
         """
-        if deprecated:
-            _warn_once(
-                ("grant-positional", type(self).__name__),
-                "positional verbs/write_fields in DataExchange.grant() are "
-                "deprecated; use grant(principal, store_name, role=...) or "
-                "grant(principal, store_name, verbs=..., write_fields=...)",
+        if _removed:
+            raise TypeError(
+                "positional verbs/write_fields were removed from "
+                "DataExchange.grant(); migrate to grant(principal, "
+                "store_name, role=...) or grant(principal, store_name, "
+                "verbs=..., write_fields=...)"
             )
-            if len(deprecated) > 4:
-                raise TypeError(
-                    f"grant() takes at most 6 positional arguments "
-                    f"({2 + len(deprecated)} given)"
-                )
-            shim = dict(zip(("verbs", "write_fields", "read_fields", "note"),
-                            deprecated))
-            verbs = shim.get("verbs", verbs)
-            write_fields = shim.get("write_fields", write_fields)
-            read_fields = shim.get("read_fields", read_fields)
-            note = shim.get("note", note)
         if verbs is None:
             verbs, write_fields, default_note = self._role_policy(role, store_name)
             note = note or default_note
@@ -221,66 +199,66 @@ class DataExchange:
         self.grants.append(grant)
         return grant
 
-    def grant_integrator(self, principal, store_name, note=""):
-        """Deprecated alias for ``grant(..., role="integrator")``."""
-        _warn_once(
-            ("grant_integrator", type(self).__name__),
-            "DataExchange.grant_integrator() is deprecated; use "
-            'grant(principal, store_name, role="integrator")',
+    def grant_integrator(self, *args, **kwargs):
+        """Removed alias; raises with the migration."""
+        raise TypeError(
+            "DataExchange.grant_integrator() was removed; use "
+            'grant(principal, store_name, role="integrator")'
         )
-        return self.grant(principal, store_name, role="integrator", note=note)
 
-    def grant_reader(self, principal, store_name, note=""):
-        """Deprecated alias for ``grant(..., role="reader")``."""
-        _warn_once(
-            ("grant_reader", type(self).__name__),
-            "DataExchange.grant_reader() is deprecated; use "
-            'grant(principal, store_name, role="reader")',
+    def grant_reader(self, *args, **kwargs):
+        """Removed alias; raises with the migration."""
+        raise TypeError(
+            "DataExchange.grant_reader() was removed; use "
+            'grant(principal, store_name, role="reader")'
         )
-        return self.grant(principal, store_name, role="reader", note=note)
 
     # -- handles -----------------------------------------------------------------
 
-    def handle(self, store_name, *deprecated, principal=None, location=None,
-               retry_policy=None):
+    def handle(self, store_name, *_removed, principal=None, location=None,
+               retry_policy=None, credits=None, overflow=None):
         """A :class:`StoreHandle` bound to ``principal`` at ``location``.
 
         The unified signature across Object and Log exchanges:
 
         - ``principal`` (required, keyword-only): who the handle acts as
-          (RBAC subject, audit identity);
+          (RBAC subject, audit identity, admission-control identity);
         - ``location`` defaults to the principal's name (the common
           "client runs where the knactor runs" case);
         - ``retry_policy`` overrides the DE-wide policy for this handle
-          only.
+          only;
+        - ``credits`` / ``overflow`` set the flow-control defaults for
+          every watch opened through this handle (falling back to the
+          DE-wide ``watch_credits`` / ``watch_overflow``; see
+          :mod:`repro.flow`).
 
         The pre-unification positional form ``handle(store, principal,
-        location)`` still works but is deprecated (warns once).
+        location)`` was removed after its deprecation window; it now
+        raises :class:`TypeError`.
         """
-        if deprecated:
-            _warn_once(
-                ("handle-positional", type(self).__name__),
-                "positional principal/location in DataExchange.handle() are "
-                "deprecated; use handle(store_name, principal=..., "
-                "location=...)",
+        if _removed:
+            raise TypeError(
+                "positional principal/location were removed from "
+                "DataExchange.handle(); migrate to handle(store_name, "
+                "principal=..., location=...)"
             )
-            if len(deprecated) > 2:
-                raise TypeError(
-                    f"handle() takes at most 3 positional arguments "
-                    f"({1 + len(deprecated)} given)"
-                )
-            if principal is None:
-                principal = deprecated[0]
-            if len(deprecated) > 1 and location is None:
-                location = deprecated[1]
         if principal is None:
             raise TypeError("handle() missing required argument: 'principal'")
         hosted = self.store(store_name)
-        return self._make_handle(
+        handle = self._make_handle(
             hosted, principal,
             location if location is not None else principal,
             retry_policy,
         )
+        client = handle.client
+        client.principal = principal
+        client.default_watch_credits = (
+            credits if credits is not None else self.watch_credits
+        )
+        client.default_watch_overflow = (
+            overflow if overflow is not None else self.watch_overflow
+        )
+        return handle
 
     def _make_handle(self, hosted, principal, location, retry_policy):
         """Subclass hook: build the DE-specific :class:`StoreHandle`."""
@@ -318,8 +296,9 @@ class StoreHandle:
     + ``watch`` for the Log DE -- with every operation returning a
     simnet process event.  ``watch`` is part of the shared protocol:
     both exchanges accept ``handler``, ``on_close`` (stream broke:
-    re-watch + resync), and ``batch_handler`` (consume a coalesced
-    delivery in one call).
+    re-watch + resync), ``batch_handler`` (consume a coalesced delivery
+    in one call), and ``credits`` (override the handle's credit window
+    for this stream; see :mod:`repro.flow`).
     """
 
     def __init__(self, de, hosted, principal, client):
@@ -349,5 +328,6 @@ class StoreHandle:
             fields=fields,
         )
 
-    def watch(self, handler, on_close=None, batch_handler=None):
+    def watch(self, handler, *, batch_handler=None, on_close=None,
+              credits=None, overflow=None):
         raise NotImplementedError

@@ -21,12 +21,15 @@ from repro.store.loglake import LogLake, LogLakeClient
 class LogDE(DataExchange):
     """Log exchange over the lake backend."""
 
-    def __init__(self, env, backend, name="log-de", retry_policy=None):
+    def __init__(self, env, backend, name="log-de", retry_policy=None,
+                 watch_credits=None, watch_overflow=None):
         if not isinstance(backend, LogLake):
             raise ConfigurationError(
                 f"LogDE needs a LogLake backend, got {type(backend).__name__}"
             )
-        super().__init__(env, backend, name, retry_policy=retry_policy)
+        super().__init__(env, backend, name, retry_policy=retry_policy,
+                         watch_credits=watch_credits,
+                         watch_overflow=watch_overflow)
 
     def _on_hosted(self, hosted):
         # Control-plane setup: create the backing pool directly.
@@ -78,16 +81,21 @@ class LogStoreHandle(StoreHandle):
         self._check("query")
         return self.client.stats(self.hosted.name)
 
-    def watch(self, handler, on_close=None, batch_handler=None):
+    def watch(self, handler, *, batch_handler=None, on_close=None,
+              credits=None, overflow=None):
         """Subscribe to appended batches.
 
         ``on_close`` fires if the backend drops the subscription
-        (failover); callers re-watch and catch up from their cursor.
+        (failover) or credit flow control forces a slow-consumer resync;
+        callers re-watch and catch up from their cursor.
         ``batch_handler`` consumes coalesced deliveries in one call when
-        the lake batches watch fan-out.
+        the lake batches watch fan-out.  ``credits``/``overflow``
+        override the handle's flow-control defaults for this stream
+        (Log streams queue contiguously while paused; batches are never
+        coalesced away).
         """
         self._check("watch")
         return self.client.watch(
             handler, key_prefix=self.hosted.name, on_close=on_close,
-            batch_handler=batch_handler,
+            batch_handler=batch_handler, credits=credits, overflow=overflow,
         )

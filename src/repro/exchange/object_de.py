@@ -27,13 +27,16 @@ from repro.util.paths import delete_path, get_path, walk_leaves
 class ObjectDE(DataExchange):
     """Object exchange over an apiserver-like, Redis-like, or sharded backend."""
 
-    def __init__(self, env, backend, name="object-de", retry_policy=None):
+    def __init__(self, env, backend, name="object-de", retry_policy=None,
+                 watch_credits=None, watch_overflow=None):
         if not isinstance(backend, (ApiServer, MemKV, ShardedStore)):
             raise ConfigurationError(
                 f"ObjectDE needs an ApiServer, MemKV, or ShardedStore "
                 f"backend, got {type(backend).__name__}"
             )
-        super().__init__(env, backend, name, retry_policy=retry_policy)
+        super().__init__(env, backend, name, retry_policy=retry_policy,
+                         watch_credits=watch_credits,
+                         watch_overflow=watch_overflow)
 
     def _client(self, location, retry_policy=None):
         policy = retry_policy if retry_policy is not None else self.retry_policy
@@ -168,13 +171,16 @@ class ObjectStoreHandle(StoreHandle):
 
         return self.env.process(run(self.env))
 
-    def watch(self, handler, prefix="", on_close=None, batch_handler=None):
+    def watch(self, handler, prefix="", *, batch_handler=None, on_close=None,
+              credits=None, overflow=None):
         """Watch this store; events carry keys relative to the store.
 
-        ``on_close`` fires if the backend drops the watch (failover);
-        callers re-watch and resync.  ``batch_handler(events)`` receives
-        whole coalesced deliveries (masked, prefix-stripped) when the
-        backend batches watch fan-out.
+        ``on_close`` fires if the backend drops the watch (failover) or
+        credit flow control forces a slow-consumer resync; callers
+        re-watch and resync.  ``batch_handler(events)`` receives whole
+        coalesced deliveries (masked, prefix-stripped) when the backend
+        batches watch fan-out.  ``credits``/``overflow`` override the
+        handle's flow-control defaults for this stream.
         """
         self._check("watch")
 
@@ -202,6 +208,7 @@ class ObjectStoreHandle(StoreHandle):
         return self.client.watch(
             wrapped, key_prefix=self.hosted.key_prefix + prefix,
             on_close=on_close, batch_handler=wrapped_batch,
+            credits=credits, overflow=overflow,
         )
 
     def read_field(self, key, path, default=None):

@@ -29,8 +29,10 @@ from repro.errors import (
 from repro.obs.context import current_context
 
 #: RPC status codes considered transient (kept as literals so this module
-#: does not import :mod:`repro.rpc`).
-_RETRYABLE_RPC_CODES = ("UNAVAILABLE", "DEADLINE_EXCEEDED")
+#: does not import :mod:`repro.rpc`).  ``RESOURCE_EXHAUSTED`` is the RPC
+#: face of admission control / full accept queues: back off and retry.
+_RETRYABLE_RPC_CODES = ("UNAVAILABLE", "DEADLINE_EXCEEDED",
+                        "RESOURCE_EXHAUSTED")
 
 
 def default_retryable(exc):

@@ -1,0 +1,42 @@
+"""Typed overflow policies for every bounded queue in the system.
+
+One vocabulary, adopted by :class:`repro.simnet.queue.Store`, the
+pub/sub :class:`~repro.pubsub.broker.Broker`, reconciler work queues,
+RPC accept queues, and paused watch buffers:
+
+- ``BLOCK`` -- producers wait (or, where the producer cannot wait --
+  watch fan-out, event intake -- the buffer is unbounded, the
+  pre-backpressure behaviour);
+- ``SHED_OLDEST`` -- evict the oldest queued item to admit the new one
+  (newest data wins; right for state-carrying streams where a later
+  item supersedes an earlier one);
+- ``SHED_NEWEST`` -- drop the incoming item (the queue's contents are
+  already-accepted work; right for at-most-once delivery planes);
+- ``REJECT`` -- refuse the item with a retryable
+  :class:`~repro.errors.OverloadedError` so the *producer* backs off
+  (the admission-control response).
+
+Every shed is observable: queues count sheds, route them to an optional
+``on_shed`` callback (reconcilers route to their dead-letter queue), and
+the obs plane scrapes the counters.
+"""
+
+from repro.errors import ConfigurationError
+
+BLOCK = "block"
+SHED_OLDEST = "shed_oldest"
+SHED_NEWEST = "shed_newest"
+REJECT = "reject"
+
+#: Every policy a bounded queue may be configured with.
+OVERFLOW_POLICIES = (BLOCK, SHED_OLDEST, SHED_NEWEST, REJECT)
+
+
+def check_overflow(policy, allowed=OVERFLOW_POLICIES):
+    """Validate (and return) an overflow policy name."""
+    if policy not in allowed:
+        raise ConfigurationError(
+            f"unknown overflow policy {policy!r}; expected one of "
+            + ", ".join(allowed)
+        )
+    return policy

@@ -48,6 +48,10 @@ class ObsPlane:
                             ).set_total(reconciler.error_count)
                 reg.gauge("reconciler_queue_depth", knactor=name).set(
                     len(reconciler._queue))
+                reg.gauge("reconciler_queue_peak", knactor=name).set(
+                    reconciler.queue_peak)
+                reg.counter("reconciler_shed_total", knactor=name).set_total(
+                    reconciler.shed_count)
                 reg.gauge("dead_letters", component=name).set(
                     len(reconciler.dead_letters))
             for name, integrator in runtime.integrators.items():
@@ -79,6 +83,34 @@ class ObsPlane:
                             ).set_total(backend.watch_fulls_sent)
                 reg.gauge("store_available", exchange=name).set(
                     1.0 if backend.available else 0.0)
+                # Flow-control plane (repro.flow): credit pauses, sheds,
+                # forced resyncs, and the admission front door.
+                pauses = getattr(backend, "watch_pauses", None)
+                if pauses is not None:
+                    reg.counter("watch_credit_pauses_total", exchange=name
+                                ).set_total(pauses)
+                    reg.counter("watch_shed_events_total", exchange=name
+                                ).set_total(backend.watch_shed_events)
+                    reg.counter("watch_forced_resyncs_total", exchange=name
+                                ).set_total(backend.watch_forced_resyncs)
+                    reg.counter("watch_credit_grants_total", exchange=name
+                                ).set_total(backend.watch_credit_grants)
+                admission_stats = None
+                if getattr(backend, "admission", None) is not None:
+                    stats_fn = getattr(backend, "admission_stats", None)
+                    admission_stats = (stats_fn() if stats_fn is not None
+                                       else backend.admission.stats())
+                if admission_stats is not None:
+                    reg.counter("admission_admitted_total", exchange=name
+                                ).set_total(admission_stats["admitted"])
+                    reg.counter("admission_rejected_total", exchange=name
+                                ).set_total(admission_stats["rejected"])
+                    for cls, entry in admission_stats["classes"].items():
+                        reg.counter("admission_rejected_total", exchange=name,
+                                    priority=cls
+                                    ).set_total(entry["rejected"])
+                        reg.gauge("admission_scale", exchange=name,
+                                  priority=cls).set(entry["scale"])
                 copy_stats = getattr(backend, "copy_stats", None)
                 if copy_stats is not None:
                     reg.counter("copied_bytes_total", exchange=name

@@ -3,11 +3,21 @@
 Features modelled: topic hierarchy with ``+``/``#`` wildcards, retained
 messages, per-subscriber FIFO delivery over the simulated network, and a
 per-message broker forwarding overhead.
+
+Backpressure (``repro.flow``): a subscription may carry a bounded
+in-flight delivery window (``max_inflight``) with a typed overflow
+policy.  A slow consumer -- one whose deliveries pile up on the wire
+faster than it absorbs them -- is shed per policy instead of queueing
+without bound, and every per-subscription drop (shed *or* faulted link)
+invokes the subscription's ``on_lag`` callback so the consumer can
+observe its gap and resync; ``reject`` evicts the subscription outright
+(``on_close`` fires), the broker-side analogue of a forced watch resync.
 """
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
+from repro.flow.policy import BLOCK, REJECT, SHED_NEWEST, check_overflow
 from repro.obs.context import current_context, use
 from repro.store.base import estimate_size
 
@@ -28,16 +38,39 @@ def topic_matches(pattern, topic):
 
 @dataclass
 class Subscription:
-    """One client's subscription to a topic pattern."""
+    """One client's subscription to a topic pattern.
+
+    ``max_inflight``/``overflow`` bound the deliveries concurrently on
+    the wire to this subscriber; ``on_lag(topic, count)`` fires for
+    every message this subscription loses (shed by the bound or dropped
+    by a faulted link), ``on_close()`` when the broker evicts the
+    subscription (``reject`` policy).
+    """
 
     pattern: str
     handler: object
     location: str
     active: bool = True
     delivered: int = 0
+    max_inflight: int = None
+    overflow: str = SHED_NEWEST
+    on_lag: object = None
+    on_close: object = None
+    inflight: int = field(default=0, repr=False)
+    dropped: int = 0
+    shed: int = 0
+    peak_inflight: int = 0
 
     def cancel(self):
         self.active = False
+
+    def _lost(self, topic, shed=False):
+        """Account one lost delivery and tell the subscriber about it."""
+        self.dropped += 1
+        if shed:
+            self.shed += 1
+        if self.on_lag is not None:
+            self.on_lag(topic, 1)
 
 
 @dataclass
@@ -55,21 +88,44 @@ class Broker:
     forward_overhead = 0.0003
     per_byte = 2e-9
 
-    def __init__(self, env, network, location="broker"):
+    def __init__(self, env, network, location="broker", max_inflight=None,
+                 overflow=SHED_NEWEST):
         self.env = env
         self.network = network
         self.location = location
+        #: Broker-wide default delivery window applied to subscriptions
+        #: that do not set their own (``None`` = unbounded, QoS-0
+        #: fire-and-forget exactly as before).
+        self.max_inflight = max_inflight
+        self.overflow = check_overflow(overflow)
         self._subscriptions = []
         self._retained = {}
         self.published = 0
         self.delivered = 0
         self.dropped = 0
+        self.shed = 0
+        self.evicted = 0
 
-    def subscribe(self, pattern, handler, location):
-        """Register a subscriber; retained messages replay immediately."""
+    def subscribe(self, pattern, handler, location, *, max_inflight=None,
+                  overflow=None, on_lag=None, on_close=None):
+        """Register a subscriber; retained messages replay immediately.
+
+        ``max_inflight``/``overflow`` override the broker-wide delivery
+        bound for this subscription; ``on_lag``/``on_close`` observe its
+        drops and eviction (see :class:`Subscription`).
+        """
         if not pattern:
             raise ConfigurationError("topic pattern must be non-empty")
-        subscription = Subscription(pattern, handler, location)
+        limit = max_inflight if max_inflight is not None else self.max_inflight
+        policy = check_overflow(overflow if overflow is not None
+                                else self.overflow)
+        if policy == BLOCK:
+            limit = None  # a broker cannot block its publishers: unbounded
+        subscription = Subscription(
+            pattern, handler, location,
+            max_inflight=limit, overflow=policy,
+            on_lag=on_lag, on_close=on_close,
+        )
         self._subscriptions.append(subscription)
         for topic, retained in self._retained.items():
             if topic_matches(pattern, topic):
@@ -109,22 +165,50 @@ class Broker:
                 self._deliver(subscription, topic, payload, ctx)
 
     def _deliver(self, subscription, topic, payload, ctx=None):
-        """Fire-and-forget delivery (QoS 0): a faulted link loses the
-        message, and the broker only counts the drop -- exactly the
-        at-most-once gap the data-centric substrate closes with
-        replayable watch history."""
+        """Fire-and-forget delivery (QoS 0) under the in-flight bound.
+
+        A faulted link loses the message; the broker counts the drop AND
+        tells the subscription (``on_lag``), so consumers can detect
+        at-most-once gaps instead of discovering them from silence --
+        the gap the data-centric substrate closes with replayable watch
+        history.  A full in-flight window sheds per the subscription's
+        overflow policy before the message ever reaches the wire.
+        """
+        if (subscription.max_inflight is not None
+                and subscription.inflight >= subscription.max_inflight):
+            self.shed += 1
+            if subscription.overflow == REJECT:
+                # A consumer this far behind is evicted: cancel + notify,
+                # the broker-side analogue of a forced watch resync.
+                self.evicted += 1
+                subscription._lost(topic, shed=True)
+                subscription.cancel()
+                if subscription.on_close is not None:
+                    subscription.on_close()
+                return
+            # shed_oldest cannot recall bytes already on the wire, so
+            # both shed policies drop the incoming message; they differ
+            # only on queues that still hold their items.
+            subscription._lost(topic, shed=True)
+            return
         link = self.network.link(self.location, subscription.location)
 
         def on_arrival(msg):
+            subscription.inflight -= 1
             if ctx is not None:
                 with use(ctx):
                     subscription.handler(*msg)
             else:
                 subscription.handler(*msg)
 
+        subscription.inflight += 1
+        subscription.peak_inflight = max(subscription.peak_inflight,
+                                         subscription.inflight)
         arrival = link.send(on_arrival, (topic, payload))
         if arrival is None:
+            subscription.inflight -= 1
             self.dropped += 1
+            subscription._lost(topic)
             return
         subscription.delivered += 1
         self.delivered += 1

@@ -21,7 +21,9 @@ the server's message definitions).
 from dataclasses import dataclass
 
 from repro.errors import IDLError, RPCError, RPCStatusError
+from repro.flow.policy import BLOCK, REJECT, SHED_NEWEST, check_overflow
 from repro.obs.context import bind_generator, current_context, use
+from repro.simnet.queue import Resource
 from repro.store.base import estimate_size
 
 #: gRPC-style status codes (subset).
@@ -32,10 +34,13 @@ UNIMPLEMENTED = "UNIMPLEMENTED"
 INTERNAL = "INTERNAL"
 DEADLINE_EXCEEDED = "DEADLINE_EXCEEDED"
 UNAVAILABLE = "UNAVAILABLE"
+RESOURCE_EXHAUSTED = "RESOURCE_EXHAUSTED"
 
 #: Status codes the resilience layer treats as transient
 #: (see :func:`repro.faults.retry.default_retryable`).
-RETRYABLE_CODES = (UNAVAILABLE, DEADLINE_EXCEEDED)
+#: ``RESOURCE_EXHAUSTED`` (a full accept queue) is transient by
+#: definition: the correct client response is backoff-and-retry.
+RETRYABLE_CODES = (UNAVAILABLE, DEADLINE_EXCEEDED, RESOURCE_EXHAUSTED)
 
 
 @dataclass
@@ -47,14 +52,25 @@ class _Registration:
 
 
 class RPCServer:
-    """Hosts service method handlers at one network location."""
+    """Hosts service method handlers at one network location.
+
+    With ``workers`` set, handler execution runs through a bounded
+    worker pool and ``accept_queue``/``overflow`` bound the callers
+    waiting for a worker: ``block`` waits without bound (the legacy
+    shape), while ``reject``/``shed_newest`` fail the overflowing call
+    fast with ``RESOURCE_EXHAUSTED`` -- retryable, so a channel with a
+    :class:`~repro.faults.RetryPolicy` backs off instead of piling on.
+    ``workers=None`` keeps the pre-backpressure unlimited-concurrency
+    behaviour.
+    """
 
     #: Per-request server-side dispatch overhead (seconds) and
     #: serialization cost per byte.
     dispatch_overhead = 0.0002
     per_byte = 1e-9
 
-    def __init__(self, env, network, location):
+    def __init__(self, env, network, location, workers=None,
+                 accept_queue=64, overflow=REJECT):
         self.env = env
         self.network = network
         self.location = location
@@ -62,6 +78,24 @@ class RPCServer:
         self.calls_served = 0
         self.available = True
         self.rejected_while_down = 0
+        self.rejected_overload = 0
+        # A synchronous caller cannot be evicted once parked, so the RPC
+        # plane supports the policies that act on the *incoming* call.
+        self.overflow = check_overflow(overflow,
+                                       allowed=(BLOCK, REJECT, SHED_NEWEST))
+        self.accept_queue = int(accept_queue)
+        self._worker_pool = (
+            Resource(env, capacity=int(workers)) if workers else None
+        )
+
+    @property
+    def queued(self):
+        """Calls currently waiting for a worker slot."""
+        return self._worker_pool.queued if self._worker_pool else 0
+
+    @property
+    def peak_queued(self):
+        return self._worker_pool.peak_queued if self._worker_pool else 0
 
     def set_available(self, available):
         """Transient outage window: calls fail fast with ``UNAVAILABLE``."""
@@ -103,6 +137,24 @@ class RPCServer:
         if registration is None:
             yield self.env.timeout(self.dispatch_overhead)
             return (UNIMPLEMENTED, f"no handler for {service}/{method}")
+        if self._worker_pool is None:
+            return (yield from self._execute(registration, payload, ctx))
+        pool = self._worker_pool
+        if (pool.in_use >= pool.capacity
+                and pool.queued >= self.accept_queue
+                and self.overflow != BLOCK):
+            self.rejected_overload += 1
+            yield self.env.timeout(self.dispatch_overhead)
+            return (RESOURCE_EXHAUSTED,
+                    f"accept queue full at {self.location!r} "
+                    f"({pool.queued}/{self.accept_queue})")
+        yield pool.acquire()
+        try:
+            return (yield from self._execute(registration, payload, ctx))
+        finally:
+            pool.release()
+
+    def _execute(self, registration, payload, ctx):
         delay = self.dispatch_overhead + self.per_byte * estimate_size(payload)
         yield self.env.timeout(delay)
         if registration.idl is not None:

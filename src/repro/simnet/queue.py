@@ -1,13 +1,19 @@
 """Blocking synchronization primitives for simulation processes.
 
-- :class:`Store` -- an unbounded-or-bounded FIFO queue; ``get()`` blocks the
-  calling process until an item is available, ``put()`` blocks while full.
-- :class:`Resource` -- a counting semaphore with FIFO granting; used to model
-  bounded server concurrency (e.g. a store's worker pool).
+- :class:`Store` -- a FIFO queue; ``get()`` blocks the calling process
+  until an item is available.  A bounded store applies its typed
+  *overflow policy* when full: ``block`` (``put()`` waits, the classic
+  behaviour), ``shed_oldest`` / ``shed_newest`` (drop an item, count the
+  shed, notify ``on_shed``), or ``reject`` (the put event fails with a
+  retryable :class:`~repro.errors.OverloadedError`).
+- :class:`Resource` -- a counting semaphore with FIFO granting; used to
+  model bounded server concurrency (e.g. a store's worker pool).
 """
 
 from collections import deque
 
+from repro.errors import OverloadedError
+from repro.flow.policy import BLOCK, REJECT, SHED_OLDEST, check_overflow
 from repro.simnet.events import Event
 
 
@@ -21,23 +27,61 @@ class Store:
 
         def consumer(env, store):
             item = yield store.get()
+
+    With a finite ``capacity`` and a non-blocking ``overflow`` policy the
+    queue degrades gracefully under overload instead of stalling its
+    producers: sheds are counted (``shed``), handed to ``on_shed(item)``
+    (e.g. a dead-letter queue), and ``reject`` surfaces a retryable
+    :class:`~repro.errors.OverloadedError` through the put event.
+    ``peak_depth`` records the deepest the queue ever got.
     """
 
-    def __init__(self, env, capacity=float("inf")):
+    def __init__(self, env, capacity=float("inf"), overflow=BLOCK,
+                 on_shed=None):
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.env = env
         self.capacity = capacity
+        self.overflow = check_overflow(overflow)
+        self.on_shed = on_shed
         self.items = deque()
         self._getters = deque()
         self._putters = deque()
+        self.shed = 0
+        self.rejected = 0
+        self.peak_depth = 0
 
     def __len__(self):
         return len(self.items)
 
+    @property
+    def full(self):
+        return len(self.items) >= self.capacity
+
     def put(self, item):
-        """Event that fires once ``item`` has been enqueued."""
+        """Event that fires once ``item`` has been enqueued (or shed).
+
+        Under a non-blocking overflow policy the event resolves
+        immediately even when the queue is full: ``shed_oldest`` evicts
+        the head to make room, ``shed_newest`` drops ``item`` itself,
+        and ``reject`` fails the event with
+        :class:`~repro.errors.OverloadedError`.
+        """
         event = Event(self.env)
+        if self.overflow != BLOCK and self.full and not self._getters:
+            if self.overflow == REJECT:
+                self.rejected += 1
+                event.fail(OverloadedError(
+                    f"queue is full ({len(self.items)}/{self.capacity})"
+                ))
+                return event
+            if self.overflow == SHED_OLDEST:
+                self._shed(self.items.popleft())
+                self.items.append(item)
+            else:  # SHED_NEWEST: the incoming item is the casualty
+                self._shed(item)
+            event.succeed()
+            return event
         self._putters.append((event, item))
         self._dispatch()
         return event
@@ -49,6 +93,11 @@ class Store:
         self._dispatch()
         return event
 
+    def _shed(self, item):
+        self.shed += 1
+        if self.on_shed is not None:
+            self.on_shed(item)
+
     def _dispatch(self):
         progressed = True
         while progressed:
@@ -56,6 +105,7 @@ class Store:
             while self._putters and len(self.items) < self.capacity:
                 put_event, item = self._putters.popleft()
                 self.items.append(item)
+                self.peak_depth = max(self.peak_depth, len(self.items))
                 put_event.succeed()
                 progressed = True
             while self._getters and self.items:
@@ -84,6 +134,7 @@ class Resource:
         self.capacity = capacity
         self._in_use = 0
         self._waiters = deque()
+        self.peak_queued = 0
 
     @property
     def in_use(self):
@@ -103,6 +154,7 @@ class Resource:
             event.succeed()
         else:
             self._waiters.append(event)
+            self.peak_queued = max(self.peak_queued, len(self._waiters))
         return event
 
     def release(self):

@@ -243,9 +243,10 @@ class ApiServerClient(StoreClient):
         return self.request("txn", ops=ops)
 
     def watch(self, handler, key_prefix="", from_revision=None, on_close=None,
-              batch_handler=None):
+              batch_handler=None, credits=None, overflow=None):
         watch = super().watch(handler, key_prefix, on_close=on_close,
-                              batch_handler=batch_handler)
+                              batch_handler=batch_handler,
+                              credits=credits, overflow=overflow)
         if from_revision is not None:
             self.server.replay(watch, from_revision)
         return watch

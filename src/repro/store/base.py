@@ -39,7 +39,13 @@ both the server (``watch_wire_bytes``) and the network links.
 import copy
 from dataclasses import dataclass, field
 
-from repro.errors import StoreError, UnavailableError
+from repro.errors import OverloadedError, StoreError, UnavailableError
+from repro.flow.policy import (
+    BLOCK,
+    REJECT,
+    SHED_OLDEST,
+    check_overflow,
+)
 from repro.obs.context import activate, bind_generator, current_context, restore
 from repro.simnet.events import Interrupt
 from repro.simnet.queue import Resource
@@ -168,13 +174,30 @@ class Watch:
     buffered deltas past the resync point are replayed.  If the resync
     itself cannot complete, the stream breaks (``on_close`` fires) and
     the watcher does a classic full resync.
+
+    **Credit-based flow control** (``credits`` set): the stream carries
+    a credit window, HTTP/2 style.  The server spends one credit per
+    event sent and pauses fan-out when the window is empty; the client
+    grants credits back after each delivery is dispatched.  While
+    paused, events coalesce server-side per key (Object stores: newest
+    wins -- safe, because the delta encoder re-anchors with a full
+    snapshot whenever the revision chain breaks) or queue contiguously
+    (Log stores, where every event carries distinct records).  A paused
+    buffer that outgrows ``max_paused`` applies ``overflow``: ``reject``
+    (the default) breaks the stream so the watcher does one explicit
+    resync -- *bounded memory, then recover* -- while the shed policies
+    trade completeness for continuity and ``block`` restores the
+    unbounded legacy buffer.  Lost credit grants (faulted links) are not
+    retransmitted; the stream simply stays paused until the buffer
+    overflow forces the resync, so a lossy link degrades, never leaks.
     """
 
     #: Transient-resync retry budget before declaring the stream broken.
     resync_attempts = 8
 
     def __init__(self, server, location, handler, key_prefix="", on_close=None,
-                 batch_handler=None):
+                 batch_handler=None, credits=None, overflow=None,
+                 max_paused=None):
         self._server = server
         self.location = location
         self.handler = handler
@@ -183,6 +206,26 @@ class Watch:
         self.batch_handler = batch_handler
         self.active = True
         self.delivered = 0
+        # -- credit window -------------------------------------------------
+        self.credits = int(credits) if credits else None
+        self.overflow = check_overflow(overflow if overflow is not None
+                                       else REJECT)
+        #: Coalesced-entry bound on the paused buffer before ``overflow``
+        #: applies (default: four credit windows of slack).
+        self.max_paused = (int(max_paused) if max_paused is not None
+                           else (4 * self.credits if self.credits else None))
+        self._credits_remaining = self.credits
+        #: Server-side paused buffer.  Coalescing mode comes from the
+        #: server class: "newest" keeps one event per key (dict, stable
+        #: insertion order), "append" keeps every event (list).
+        self._coalesce = getattr(server, "WATCH_COALESCE", "newest")
+        self._paused = {} if self._coalesce == "newest" else []
+        self.credit_pauses = 0
+        self.paused_coalesced = 0
+        self.paused_shed = 0
+        self.forced_resyncs = 0
+        self.grants_lost = 0
+        self.peak_paused = 0
         # Server-side delta-encoder state: last revision sent per key
         # (valid because the stream is reliable-until-broken FIFO).
         self._sent_revisions = {}
@@ -210,6 +253,90 @@ class Watch:
             if materialized is not None:
                 ready.append(materialized)
         self._dispatch(ready)
+        # Credits flow back only after the handler work is dispatched:
+        # a consumer that falls behind simply grants later, and the
+        # server's window -- not a queue -- absorbs the difference.
+        if self.credits is not None and self.active:
+            self._grant_credits(len(events))
+
+    # -- credit flow (client side) ------------------------------------------
+
+    def _grant_credits(self, count):
+        """Return ``count`` credits to the server over the reverse link.
+
+        A grant lost to a faulted link is NOT retransmitted: the stream
+        stays paused until the paused-buffer overflow forces a resync.
+        """
+        server = self._server
+        link = server.network.link(self.location, server.location)
+        if link.send(
+            lambda n: server._on_credit_grant(self, n), count
+        ) is None:
+            self.grants_lost += 1
+
+    # -- paused buffer (server side) ----------------------------------------
+
+    def _buffer_paused(self, event):
+        """Coalesce one event into the paused buffer, applying overflow."""
+        if not self._paused:
+            self.credit_pauses += 1
+            self._server.watch_pauses += 1
+        if self._coalesce == "newest":
+            if event.key in self._paused:
+                # Newest wins in place: the entry keeps its FIFO slot,
+                # its payload becomes the latest commit.
+                self._paused[event.key] = event
+                self.paused_coalesced += 1
+                self._server.watch_paused_coalesced += 1
+                return
+            if not self._paused_admit(event):
+                return
+            self._paused[event.key] = event
+        else:  # append: log records are all distinct; never coalesce
+            if not self._paused_admit(event):
+                return
+            self._paused.append(event)
+        self.peak_paused = max(self.peak_paused, len(self._paused))
+
+    def _paused_admit(self, event):
+        """Overflow policy for a NEW paused entry; False when shed."""
+        if (self.max_paused is None or self.overflow == BLOCK
+                or len(self._paused) < self.max_paused):
+            return True
+        if self.overflow == REJECT:
+            # The consumer is too slow for bounded buffering: break the
+            # stream, the watcher re-watches and resyncs -- one explicit
+            # recovery instead of unbounded memory.
+            self._force_resync()
+            return False
+        if self.overflow == SHED_OLDEST:
+            if self._coalesce == "newest":
+                oldest = next(iter(self._paused))
+                del self._paused[oldest]
+            else:
+                self._paused.pop(0)
+            self._record_shed()
+            return True
+        self._record_shed()  # SHED_NEWEST: the incoming event is dropped
+        return False
+
+    def _record_shed(self):
+        self.paused_shed += 1
+        self._server.watch_shed_events += 1
+
+    def _force_resync(self):
+        self.forced_resyncs += 1
+        self._server.watch_forced_resyncs += 1
+        self._paused = {} if self._coalesce == "newest" else []
+        self.break_connection(self._server.watch_keepalive)
+
+    def _take_paused(self, count):
+        """Dequeue up to ``count`` buffered events, oldest first."""
+        if self._coalesce == "newest":
+            keys = list(self._paused)[:count]
+            return [self._paused.pop(key) for key in keys]
+        taken, self._paused = self._paused[:count], self._paused[count:]
+        return taken
 
     def _dispatch(self, events):
         if not events:
@@ -374,6 +501,12 @@ class StoreServer:
     #: (seconds of virtual time) when the server cannot say goodbye.
     watch_keepalive = 0.02
 
+    #: How a credit-paused watch buffer coalesces: ``"newest"`` keeps one
+    #: event per key (a later commit supersedes an earlier one -- Object
+    #: stores), ``"append"`` keeps every event contiguously (Log stores,
+    #: where each event carries distinct records).
+    WATCH_COALESCE = "newest"
+
     def __init__(self, env, network, location, workers=1, tracer=None,
                  watch_batch_window=0.0, zero_copy=True, delta_watch=False):
         self.env = env
@@ -404,7 +537,15 @@ class StoreServer:
         self.watch_deltas_sent = 0
         self.watch_fulls_sent = 0
         self.watch_drops_injected = 0
+        # Credit-flow counters (aggregated across this server's watches).
+        self.watch_pauses = 0
+        self.watch_paused_coalesced = 0
+        self.watch_shed_events = 0
+        self.watch_forced_resyncs = 0
+        self.watch_credit_grants = 0
         self._drop_next_watch_message = False
+        #: Admission controller guarding :meth:`handle` (None = open door).
+        self.admission = None
         self.op_counts = {}
         self.revision = 0
         # Availability / failure state (see repro.faults).
@@ -429,6 +570,23 @@ class StoreServer:
 
     def _handle(self, op, args):
         epoch = self._epoch
+        # Principal rides out-of-band like the trace ctx: stripped before
+        # sizing (admission must not perturb the latency model), copied
+        # rather than popped (retried attempts reuse the args dict).
+        principal = args.get("principal")
+        if principal is not None:
+            args = {k: v for k, v in args.items() if k != "principal"}
+        if self.admission is not None and not self.admission.admit(
+            principal, self._worker_pool.queued
+        ):
+            # Rejected at the front door: no worker slot, no latency
+            # charge.  OverloadedError is retryable, so clients behind a
+            # RetryPolicy back off instead of piling on.
+            yield self.env.timeout(0)
+            return _Failure(OverloadedError(
+                f"store {self.location!r} shed {op!r} for "
+                f"principal {principal!r} (admission control)"
+            ))
         yield self._worker_pool.acquire()
         proc = self.env.active_process
         self._executing.append(proc)
@@ -543,9 +701,52 @@ class StoreServer:
                           ctx=event.ctx, committed_at=event.committed_at)
 
     def _send_to_watch(self, watch, events):
+        """Send ``events`` subject to the watch's credit window.
+
+        Events the window cannot afford go to the watch's paused buffer
+        (coalesced per :attr:`WATCH_COALESCE`); they flow once the
+        client grants credits back.  Returns False if the stream broke.
+        """
+        if watch.credits is None:
+            return self._transmit(watch, events)
+        sendable = []
+        for event in events:
+            # A non-empty paused buffer forces buffering even with
+            # credits in hand: FIFO order is part of the protocol.
+            if watch._paused or len(sendable) >= watch._credits_remaining:
+                watch._buffer_paused(event)
+                if not watch.active:  # overflow forced a resync
+                    return False
+            else:
+                sendable.append(event)
+        if not sendable:
+            return watch.active
+        return self._transmit(watch, sendable)
+
+    def _on_credit_grant(self, watch, count):
+        """Client granted ``count`` credits back; drain the paused buffer."""
+        if not watch.active:
+            return
+        self.watch_credit_grants += 1
+        watch._credits_remaining = min(
+            watch.credits, watch._credits_remaining + count
+        )
+        while watch.active and watch._credits_remaining > 0:
+            batch = watch._take_paused(watch._credits_remaining)
+            if not batch:
+                return
+            if not self._transmit(watch, batch):
+                return
+
+    def _transmit(self, watch, events):
         """One network message carrying ``events``; False if it broke."""
         encoded = [self._encode_event(watch, event) for event in events]
         wire_bytes = sum(event.wire_size() for event in encoded)
+        if watch.credits is not None:
+            # Spent at send time, not delivery: a lost message never
+            # grants back, so losses shrink the effective window until
+            # the paused-buffer overflow forces the resync.
+            watch._credits_remaining -= len(encoded)
         if self._drop_next_watch_message:
             # Test hook: lose this message AFTER encoding, so the
             # server's sent-revision chain advances past what the client
@@ -721,6 +922,13 @@ class StoreClient:
         self.location = location
         self.retry_policy = retry_policy
         self.circuit_breaker = circuit_breaker
+        #: Principal this client acts as (rides out-of-band in requests;
+        #: consulted by the server's admission controller).
+        self.principal = None
+        #: Flow-control defaults applied by :meth:`watch` when the caller
+        #: passes none (set by exchange handles from the DE's FlowConfig).
+        self.default_watch_credits = None
+        self.default_watch_overflow = None
         # Write coalescing (opt-in).
         self.coalesce_writes = False
         self._inflight_patches = set()  # keys with a patch on the wire
@@ -757,6 +965,8 @@ class StoreClient:
         ctx = current_context()
         if ctx is not None:
             args["ctx"] = ctx
+        if self.principal is not None:
+            args["principal"] = self.principal
         if self.retry_policy is None and self.circuit_breaker is None:
             return self.env.process(self._request(op, args))
         from repro.faults.retry import RetryPolicy
@@ -922,17 +1132,27 @@ class StoreClient:
         prefix, self._cache_prefix = self._cache_prefix, ""
         self.enable_read_cache(prefix)
 
-    def watch(self, handler, key_prefix="", on_close=None, batch_handler=None):
+    def watch(self, handler, key_prefix="", on_close=None, batch_handler=None,
+              credits=None, overflow=None):
         """Register ``handler(WatchEvent)`` for matching changes.
 
         Registration itself is immediate (steady-state watches are the
         common case; connection setup is not modelled).  ``on_close``
         fires if the server drops the watch (failover).  A
         ``batch_handler(list_of_events)`` consumes whole coalesced
-        deliveries in one call when the server batches fan-out.  Returns
-        the :class:`Watch` handle for cancellation.
+        deliveries in one call when the server batches fan-out.
+        ``credits``/``overflow`` opt the stream into credit-based flow
+        control (see :class:`Watch`); unset, they fall back to the
+        client's ``default_watch_credits``/``default_watch_overflow``
+        (which exchange handles configure).  Returns the :class:`Watch`
+        handle for cancellation.
         """
+        if credits is None:
+            credits = getattr(self, "default_watch_credits", None)
+        if overflow is None:
+            overflow = getattr(self, "default_watch_overflow", None)
         watch = Watch(self.server, self.location, handler, key_prefix,
-                      on_close=on_close, batch_handler=batch_handler)
+                      on_close=on_close, batch_handler=batch_handler,
+                      credits=credits, overflow=overflow)
         self.server.register_watch(watch)
         return watch

@@ -43,6 +43,11 @@ class LogLake(StoreServer):
 
     OPS = dict(DEFAULT_OPS)
 
+    #: Credit-paused watch buffers queue batches contiguously: every
+    #: APPENDED event carries distinct records, so newest-wins coalescing
+    #: would silently lose data.
+    WATCH_COALESCE = "append"
+
     #: Server-side scan cost per record touched by a query.
     scan_cost_per_record = 2e-7
 
@@ -199,6 +204,7 @@ class LogLakeClient(StoreClient):
     def pools(self):
         return self.request("pools")
 
-    def watch_pool(self, pool, handler):
+    def watch_pool(self, pool, handler, credits=None, overflow=None):
         """Subscribe to batches appended to ``pool``."""
-        return self.watch(handler, key_prefix=pool)
+        return self.watch(handler, key_prefix=pool, credits=credits,
+                          overflow=overflow)

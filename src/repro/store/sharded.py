@@ -114,6 +114,58 @@ class ShardedStore:
         return sum(s.watch_fulls_sent for s in self.shards)
 
     @property
+    def watch_pauses(self):
+        return sum(s.watch_pauses for s in self.shards)
+
+    @property
+    def watch_paused_coalesced(self):
+        return sum(s.watch_paused_coalesced for s in self.shards)
+
+    @property
+    def watch_shed_events(self):
+        return sum(s.watch_shed_events for s in self.shards)
+
+    @property
+    def watch_forced_resyncs(self):
+        return sum(s.watch_forced_resyncs for s in self.shards)
+
+    @property
+    def watch_credit_grants(self):
+        return sum(s.watch_credit_grants for s in self.shards)
+
+    @property
+    def admission(self):
+        """Shard 0's controller (set_admission installs one per shard)."""
+        return self.shards[0].admission
+
+    def set_admission(self, factory):
+        """Install one admission controller per shard via ``factory()``.
+
+        Per shard, not shared: each shard has its own worker queue (the
+        AIMD congestion signal), exactly as N real replicas would.
+        """
+        for shard in self.shards:
+            shard.admission = factory()
+
+    def admission_stats(self):
+        """Merged per-class admitted/rejected counters across shards."""
+        merged = {"admitted": 0, "rejected": 0, "classes": {}}
+        for shard in self.shards:
+            if shard.admission is None:
+                continue
+            stats = shard.admission.stats()
+            merged["admitted"] += stats["admitted"]
+            merged["rejected"] += stats["rejected"]
+            for name, cls in stats["classes"].items():
+                slot = merged["classes"].setdefault(
+                    name, {"admitted": 0, "rejected": 0, "scale": 1.0}
+                )
+                slot["admitted"] += cls["admitted"]
+                slot["rejected"] += cls["rejected"]
+                slot["scale"] = min(slot["scale"], cls["scale"])
+        return merged
+
+    @property
     def zero_copy(self):
         return all(s.zero_copy for s in self.shards)
 
@@ -189,6 +241,18 @@ class MergedWatch:
     def delivered(self):
         return sum(w.delivered for w in self.watches)
 
+    @property
+    def credit_pauses(self):
+        return sum(w.credit_pauses for w in self.watches)
+
+    @property
+    def forced_resyncs(self):
+        return sum(w.forced_resyncs for w in self.watches)
+
+    @property
+    def peak_paused(self):
+        return max((w.peak_paused for w in self.watches), default=0)
+
     def cancel(self):
         for watch in self.watches:
             watch.cancel()
@@ -226,6 +290,35 @@ class ShardedStoreClient:
 
     def _client_for(self, key):
         return self.clients[shard_index(key, len(self.clients))]
+
+    # -- flow-control surface (fans out to every shard client) ---------------
+
+    @property
+    def principal(self):
+        return self.clients[0].principal
+
+    @principal.setter
+    def principal(self, value):
+        for client in self.clients:
+            client.principal = value
+
+    @property
+    def default_watch_credits(self):
+        return self.clients[0].default_watch_credits
+
+    @default_watch_credits.setter
+    def default_watch_credits(self, value):
+        for client in self.clients:
+            client.default_watch_credits = value
+
+    @property
+    def default_watch_overflow(self):
+        return self.clients[0].default_watch_overflow
+
+    @default_watch_overflow.setter
+    def default_watch_overflow(self, value):
+        for client in self.clients:
+            client.default_watch_overflow = value
 
     @property
     def zero_copy(self):
@@ -310,8 +403,15 @@ class ShardedStoreClient:
 
     # -- watches -------------------------------------------------------------
 
-    def watch(self, handler, key_prefix="", on_close=None, batch_handler=None):
-        """Merged, interest-filtered stream across all shards."""
+    def watch(self, handler, key_prefix="", on_close=None, batch_handler=None,
+              credits=None, overflow=None):
+        """Merged, interest-filtered stream across all shards.
+
+        ``credits`` is a *per-shard-stream* window: each underlying
+        shard watch gets its own, since each shard fans out over its own
+        link.  A credit-forced resync on any shard breaks the whole
+        merged stream (``on_close`` once), exactly like a fault break.
+        """
         merged = MergedWatch()
         close = None
         if on_close is not None:
@@ -319,7 +419,8 @@ class ShardedStoreClient:
         for client in self.clients:
             merged.watches.append(
                 client.watch(handler, key_prefix,
-                             on_close=close, batch_handler=batch_handler)
+                             on_close=close, batch_handler=batch_handler,
+                             credits=credits, overflow=overflow)
             )
         return merged
 

@@ -171,3 +171,73 @@ class TestLogSubscriptions:
         env.run()
         assert len(rec.batches) == 1
         assert [r["value"] for r in rec.batches[0][1]] == [1.0, 2.0]
+
+
+class SlowMarkDone(MarkDone):
+    """A deliberately slow consumer: keys pile up in the dirty queue."""
+
+    service_time = 0.5
+
+
+class TestBoundedWorkQueue:
+    """max_queue / queue_overflow: the dirty-key queue under overload."""
+
+    def overload(self, env, runtime, call, reconciler, keys=8):
+        knactor = build(runtime, reconciler)
+        handle = runtime.handle_of("tasks")
+        for index in range(keys):
+            call(handle.create(f"t{index}", {"title": f"#{index}", "done": False}))
+        env.run()
+        return knactor
+
+    def test_shed_oldest_bounds_queue_and_dead_letters(self, env, runtime,
+                                                       call):
+        rec = SlowMarkDone()
+        rec.max_queue = 2
+        self.overload(env, runtime, call, rec)
+        assert rec.queue_peak <= 2
+        assert rec.shed_count > 0
+        assert len(rec.dead_letters) == rec.shed_count
+        entry = rec.dead_letters.letters[0]
+        assert "shed" in str(entry.error)
+        # Level triggering makes the shed recoverable: the keys still
+        # reconciled never exceed the bound's working set.
+        seen_keys = {key for _, key, _ in rec.seen}
+        assert len(seen_keys) < 8
+
+    def test_shed_newest_drops_latest_arrivals(self, env, runtime, call):
+        rec = SlowMarkDone()
+        rec.max_queue = 2
+        rec.queue_overflow = "shed_newest"
+        self.overload(env, runtime, call, rec)
+        assert rec.shed_count > 0
+        seen_keys = {key for _, key, _ in rec.seen}
+        assert "t0" in seen_keys  # earliest arrivals kept their slot
+
+    def test_dirty_key_update_never_sheds(self, env, runtime, call):
+        """A key already queued coalesces in place -- the bound only
+        bites on NEW keys, so level-triggered dedup stays lossless."""
+        rec = SlowMarkDone()
+        rec.max_queue = 1
+        knactor = build(runtime, rec)
+        handle = runtime.handle_of("tasks")
+        call(handle.create("t0", {"title": "a", "done": False}))
+        for _ in range(5):
+            call(handle.patch("t0", {"title": "a+"}))
+        env.run()
+        assert rec.shed_count == 0
+
+    def test_unbounded_by_default(self, env, runtime, call):
+        rec = SlowMarkDone()
+        self.overload(env, runtime, call, rec, keys=12)
+        assert rec.max_queue is None
+        assert rec.queue_peak > 2
+        assert rec.shed_count == 0
+
+    def test_constructor_validates_policy(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="overflow"):
+            MarkDoneWithBadPolicy = type(
+                "Bad", (MarkDone,), {"queue_overflow": "spill"})
+            MarkDoneWithBadPolicy()

@@ -1,10 +1,12 @@
-"""Tests for the unified exchange-handle API and its deprecation shims.
+"""Tests for the unified exchange-handle API and its sunset surface.
 
 ``DataExchange.handle()`` and ``DataExchange.grant()`` are the single
-entry points across Object and Log exchanges; the pre-unification forms
+entry points across Object and Log exchanges.  The pre-unification forms
 (positional ``handle(store, principal)``, positional ``grant`` verbs,
-``grant_integrator`` / ``grant_reader``) keep working but warn exactly
-once per process.
+``grant_integrator`` / ``grant_reader``) completed their deprecation
+window and were REMOVED: every removed call form raises ``TypeError``
+naming its replacement, and the repo-wide suite runs clean under
+``-W error::DeprecationWarning``.
 """
 
 import warnings
@@ -12,7 +14,6 @@ import warnings
 import pytest
 
 from repro.exchange import LogDE, ObjectDE, StoreHandle
-from repro.exchange.base import _reset_deprecation_warnings
 from repro.exchange.log_de import LogStoreHandle
 from repro.exchange.object_de import ObjectStoreHandle
 from repro.faults import RetryPolicy
@@ -30,14 +31,6 @@ schema: SmartHome/v1/House/Readings
 kwh: number # +kr: ingest
 note: string
 """
-
-
-@pytest.fixture(autouse=True)
-def fresh_warning_registry():
-    """Each test observes the warn-once behavior from a clean slate."""
-    _reset_deprecation_warnings()
-    yield
-    _reset_deprecation_warnings()
 
 
 @pytest.fixture
@@ -76,6 +69,11 @@ class TestUnifiedHandle:
         with pytest.raises(TypeError, match="principal"):
             object_de.handle("knactor-checkout")
 
+    def test_handle_binds_principal_to_client(self, object_de):
+        """Admission control attributes requests to the handle's principal."""
+        handle = object_de.handle("knactor-checkout", principal="checkout")
+        assert handle.client.principal == "checkout"
+
     def test_per_handle_retry_policy_overrides_de_default(self, env, zero_net):
         de_policy = RetryPolicy(max_attempts=2)
         handle_policy = RetryPolicy(max_attempts=7)
@@ -105,15 +103,60 @@ class TestUnifiedHandle:
         assert seen == ["o1"]
 
 
+class TestHandleFlowKnobs:
+    """``handle(..., credits=, overflow=)`` and ``watch(..., credits=)``."""
+
+    def test_handle_credits_become_watch_defaults(self, object_de, env):
+        handle = object_de.handle(
+            "knactor-checkout", principal="checkout",
+            credits=8, overflow="shed_oldest",
+        )
+        assert handle.client.default_watch_credits == 8
+        assert handle.client.default_watch_overflow == "shed_oldest"
+        watch = handle.watch(lambda e: None)
+        assert watch.credits == 8
+        assert watch.overflow == "shed_oldest"
+
+    def test_watch_credits_override_handle_default(self, object_de):
+        handle = object_de.handle(
+            "knactor-checkout", principal="checkout", credits=8
+        )
+        watch = handle.watch(lambda e: None, credits=2)
+        assert watch.credits == 2
+
+    def test_de_wide_default_flows_to_every_handle(self, env, zero_net):
+        de = ObjectDE(
+            env, ApiServer(env, zero_net, watch_overhead=0.0),
+            watch_credits=16,
+        )
+        de.host_store("knactor-checkout", ORDER_SCHEMA, owner="checkout")
+        watch = de.handle(
+            "knactor-checkout", principal="checkout"
+        ).watch(lambda e: None)
+        assert watch.credits == 16
+        # Credit flow defaults to the recoverable policy: resync, not shed.
+        assert watch.overflow == "reject"
+
+    def test_credits_default_off(self, object_de):
+        watch = object_de.handle(
+            "knactor-checkout", principal="checkout"
+        ).watch(lambda e: None)
+        assert watch.credits is None
+
+    def test_log_handle_watch_accepts_credits(self, log_de):
+        handle = log_de.handle("house-log", principal="house")
+        watch = handle.watch(lambda e: None, credits=4)
+        assert watch.credits == 4
+        assert watch._coalesce == "append"
+
+
 class TestUnifiedGrant:
-    def test_role_grant_matches_legacy_integrator_grant(self, object_de):
-        _reset_deprecation_warnings()
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            legacy = object_de.grant_integrator("cast-a", "knactor-checkout")
-        modern = object_de.grant("cast-b", "knactor-checkout", role="integrator")
-        assert legacy.verbs == modern.verbs
-        assert legacy.write_fields == modern.write_fields
+    def test_integrator_role_scopes_writes_to_external_fields(self, object_de):
+        grant = object_de.grant(
+            "cast-a", "knactor-checkout", role="integrator"
+        )
+        assert "patch" in grant.verbs
+        assert grant.write_fields == ("trackingID",)
 
     def test_reader_role_is_read_only(self, object_de, call):
         object_de.grant("viewer", "knactor-checkout", role="reader")
@@ -142,60 +185,44 @@ class TestUnifiedGrant:
         assert reader.verbs == frozenset({"query", "watch"})
 
 
-class TestDeprecationShims:
-    def test_positional_handle_works_and_warns_once(self, object_de):
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            first = object_de.handle("knactor-checkout", "checkout")
-            second = object_de.handle("knactor-checkout", "checkout", "edge")
-        assert isinstance(first, StoreHandle)
-        assert second.client.location == "edge"
-        deprecations = [
-            w for w in caught if issubclass(w.category, DeprecationWarning)
-        ]
-        assert len(deprecations) == 1
-        assert "handle(store_name, principal=" in str(deprecations[0].message)
+class TestRemovedForms:
+    """The PR-2 deprecation shims are gone: removed forms raise TypeError
+    with a one-line migration hint naming the replacement."""
 
-    def test_positional_grant_works_and_warns_once(self, object_de):
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            one = object_de.grant("a", "knactor-checkout", {"get", "list"})
-            two = object_de.grant("b", "knactor-checkout", {"get"}, ())
-        assert one.verbs == frozenset({"get", "list"})
-        assert two.verbs == frozenset({"get"})
-        deprecations = [
-            w for w in caught if issubclass(w.category, DeprecationWarning)
-        ]
-        assert len(deprecations) == 1
+    def test_positional_handle_raises_with_migration(self, object_de):
+        with pytest.raises(TypeError, match=r"handle\(store_name, "
+                                            r"principal=\.\.\."):
+            object_de.handle("knactor-checkout", "checkout")
 
-    def test_grant_aliases_warn_once_each(self, object_de):
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
+    def test_positional_handle_with_location_raises(self, object_de):
+        with pytest.raises(TypeError, match="removed"):
+            object_de.handle("knactor-checkout", "checkout", "edge")
+
+    def test_positional_grant_raises_with_migration(self, object_de):
+        with pytest.raises(TypeError, match=r"grant\(principal, store_name, "
+                                            r"role=\.\.\.\)"):
+            object_de.grant("a", "knactor-checkout", {"get", "list"})
+
+    def test_grant_integrator_raises_with_migration(self, object_de):
+        with pytest.raises(TypeError, match=r'grant\(principal, store_name, '
+                                            r'role="integrator"\)'):
             object_de.grant_integrator("a", "knactor-checkout")
-            object_de.grant_integrator("b", "knactor-checkout")
+
+    def test_grant_reader_raises_with_migration(self, object_de):
+        with pytest.raises(TypeError, match=r'role="reader"'):
             object_de.grant_reader("c", "knactor-checkout")
-            object_de.grant_reader("d", "knactor-checkout")
-        deprecations = [
-            w for w in caught if issubclass(w.category, DeprecationWarning)
-        ]
-        assert len(deprecations) == 2  # one per alias, not per call
 
-    def test_reset_hook_rearms_the_warning(self, object_de):
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            object_de.handle("knactor-checkout", "checkout")
-            _reset_deprecation_warnings()
-            object_de.handle("knactor-checkout", "checkout")
-        deprecations = [
-            w for w in caught if issubclass(w.category, DeprecationWarning)
-        ]
-        assert len(deprecations) == 2
+    def test_removed_forms_raise_on_log_de_too(self, log_de):
+        with pytest.raises(TypeError, match="removed"):
+            log_de.handle("house-log", "house")
+        with pytest.raises(TypeError, match="removed"):
+            log_de.grant_integrator("sync", "house-log")
 
-    def test_too_many_positionals_still_a_type_error(self, object_de):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            with pytest.raises(TypeError):
-                object_de.handle("knactor-checkout", "p", "loc", "extra")
+    def test_registry_and_shims_are_deleted(self):
+        import repro.exchange.base as base
+
+        for symbol in ("_WARNED", "_warn_once", "_reset_deprecation_warnings"):
+            assert not hasattr(base, symbol)
 
     def test_in_repo_callers_are_warning_free(self):
         """The whole migrated retail app builds without one deprecation."""

@@ -156,3 +156,72 @@ class TestClient:
         call(broker.publish("b", b"y", "pub"))
         env.run()
         assert received == []
+
+
+class TestSubscriptionBackpressure:
+    """Bounded in-flight windows + per-subscription loss callbacks."""
+
+    def test_slow_consumer_sheds_when_window_full(self, env, broker, call):
+        from repro.simnet import FixedLatency
+
+        broker.network.set_latency("broker", "slow", FixedLatency(0.05))
+        received, lagged = [], []
+        sub = broker.subscribe(
+            "t", lambda t, m: received.append(m), "slow",
+            max_inflight=2, overflow="shed_newest",
+            on_lag=lambda topic, n: lagged.append((topic, n)),
+        )
+        for index in range(6):  # publishes far outpace the 50 ms link
+            call(broker.publish("t", bytes([index]), "pub"))
+        env.run()
+        assert sub.shed > 0
+        assert broker.shed == sub.shed
+        assert lagged == [("t", 1)] * sub.shed  # every loss is observable
+        assert len(received) == 6 - sub.shed
+        assert sub.peak_inflight <= 2
+
+    def test_reject_evicts_the_subscription(self, env, broker, call):
+        from repro.simnet import FixedLatency
+
+        broker.network.set_latency("broker", "slow", FixedLatency(0.05))
+        closed, lagged = [], []
+        sub = broker.subscribe(
+            "t", lambda t, m: None, "slow",
+            max_inflight=1, overflow="reject",
+            on_lag=lambda topic, n: lagged.append(topic),
+            on_close=lambda: closed.append(True),
+        )
+        for index in range(4):
+            call(broker.publish("t", b"x", "pub"))
+        env.run()
+        assert not sub.active
+        assert closed == [True] and broker.evicted == 1
+        assert lagged  # the eviction-triggering message counts as lost
+
+    def test_faulted_link_drop_invokes_on_lag(self, env, broker, call):
+        """A lost delivery tells the subscription, not just the broker."""
+        lagged = []
+        sub = broker.subscribe(
+            "t", lambda t, m: None, "gone",
+            on_lag=lambda topic, n: lagged.append((topic, n)),
+        )
+        broker.network.partition("broker", "gone")
+        call(broker.publish("t", b"x", "pub"))
+        env.run()
+        assert broker.dropped == 1
+        assert sub.dropped == 1          # the per-subscription account
+        assert lagged == [("t", 1)]      # ... and its callback fired
+        assert sub.delivered == 0
+
+    def test_block_policy_maps_to_unbounded(self, env, broker):
+        sub = broker.subscribe("t", lambda t, m: None, "svc",
+                               max_inflight=4, overflow="block")
+        assert sub.max_inflight is None  # a broker cannot block publishers
+
+    def test_broker_wide_default_window(self, env, net):
+        broker = Broker(env, net, max_inflight=3, overflow="shed_newest")
+        sub = broker.subscribe("t", lambda t, m: None, "svc")
+        assert sub.max_inflight == 3 and sub.overflow == "shed_newest"
+        tuned = broker.subscribe("t", lambda t, m: None, "svc",
+                                 max_inflight=9)
+        assert tuned.max_inflight == 9

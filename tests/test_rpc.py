@@ -210,3 +210,68 @@ class TestChannel:
             call(channel.call("ShippingService", "ShipOrder", {}, deadline=0.5))
         assert excinfo.value.code == "DEADLINE_EXCEEDED"
         assert env.now < 1.0
+
+
+class TestAcceptQueueBackpressure:
+    """Bounded worker pools + accept queues (repro.flow)."""
+
+    def make_busy_server(self, env, net, idl, **server_kwargs):
+        server = RPCServer(env, net, "shipping", **server_kwargs)
+
+        def handler(request):
+            yield env.timeout(1.0)
+            return {"tracking_id": "trk-1", "shipping_cost": 4.5}
+
+        server.register("ShippingService", "ShipOrder", handler, idl=idl)
+        return server
+
+    def burst(self, env, channel, count):
+        failures = []
+
+        def one(env):
+            try:
+                yield channel.call("ShippingService", "ShipOrder", {})
+            except RPCStatusError as error:
+                failures.append(error.code)
+
+        procs = [env.process(one(env)) for _ in range(count)]
+        env.run(until=env.all_of(procs))
+        return failures
+
+    def test_overflow_rejects_with_resource_exhausted(self, env, net, idl):
+        server = self.make_busy_server(
+            env, net, idl, workers=1, accept_queue=1, overflow="reject",
+        )
+        channel = RPCChannel(env, server, "checkout")
+        failures = self.burst(env, channel, 4)
+        # One running + one queued; the other two bounce off the door.
+        assert failures == ["RESOURCE_EXHAUSTED", "RESOURCE_EXHAUSTED"]
+        assert server.rejected_overload == 2
+        assert server.calls_served == 2
+        assert server.peak_queued <= 1
+
+    def test_resource_exhausted_is_retryable(self):
+        from repro.faults.retry import default_retryable
+        from repro.rpc.channel import RESOURCE_EXHAUSTED, RETRYABLE_CODES
+
+        assert RESOURCE_EXHAUSTED in RETRYABLE_CODES
+        assert default_retryable(
+            RPCStatusError(RESOURCE_EXHAUSTED, "accept queue full"))
+
+    def test_block_policy_parks_callers(self, env, net, idl):
+        server = self.make_busy_server(
+            env, net, idl, workers=1, accept_queue=1, overflow="block",
+        )
+        channel = RPCChannel(env, server, "checkout")
+        failures = self.burst(env, channel, 4)
+        assert failures == []  # everyone waits; nobody is turned away
+        assert server.calls_served == 4
+        assert env.now >= 4.0  # strictly serialized by the single worker
+
+    def test_unbounded_without_workers(self, env, net, idl):
+        server = self.make_busy_server(env, net, idl)
+        channel = RPCChannel(env, server, "checkout")
+        failures = self.burst(env, channel, 6)
+        assert failures == []
+        assert env.now < 2.0  # fully concurrent: no pool to serialize
+        assert server.rejected_overload == 0

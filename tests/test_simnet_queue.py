@@ -153,3 +153,76 @@ class TestResource:
         assert resource.queued == 1
         env.run()
         assert resource.in_use == 0
+
+
+class TestStoreOverflow:
+    """Bounded queues with typed overflow policies (repro.flow)."""
+
+    def drain(self, env, store):
+        items = []
+
+        def consumer(env):
+            while True:
+                items.append((yield store.get()))
+
+        env.process(consumer(env))
+        return items
+
+    def fill(self, env, store, values):
+        for value in values:
+            env.run(until=store.put(value))
+
+    def test_shed_oldest_evicts_head(self, env):
+        dead = []
+        store = Store(env, capacity=2, overflow="shed_oldest",
+                      on_shed=dead.append)
+        self.fill(env, store, ["a", "b", "c", "d"])
+        assert list(store.items) == ["c", "d"]
+        assert store.shed == 2 and dead == ["a", "b"]
+
+    def test_shed_newest_drops_incoming(self, env):
+        dead = []
+        store = Store(env, capacity=2, overflow="shed_newest",
+                      on_shed=dead.append)
+        self.fill(env, store, ["a", "b", "c", "d"])
+        assert list(store.items) == ["a", "b"]
+        assert store.shed == 2 and dead == ["c", "d"]
+
+    def test_reject_fails_put_with_retryable_error(self, env):
+        from repro.errors import OverloadedError, UnavailableError
+
+        store = Store(env, capacity=1, overflow="reject")
+        env.run(until=store.put("a"))
+        with pytest.raises(OverloadedError) as excinfo:
+            env.run(until=store.put("b"))
+        assert isinstance(excinfo.value, UnavailableError)  # retryable
+        assert store.rejected == 1
+        assert list(store.items) == ["a"]
+
+    def test_waiting_getter_absorbs_would_be_shed(self, env):
+        store = Store(env, capacity=1, overflow="shed_newest")
+        items = self.drain(env, store)
+        env.run()
+        self.fill(env, store, ["a", "b"])
+        env.run()
+        assert items == ["a", "b"] and store.shed == 0
+
+    def test_peak_depth_recorded(self, env):
+        store = Store(env, capacity=8)
+        self.fill(env, store, list(range(5)))
+        env.run(until=store.get())
+        assert store.peak_depth == 5
+
+    def test_unknown_policy_rejected(self, env):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="overflow"):
+            Store(env, capacity=1, overflow="fifo")
+
+    def test_block_policy_still_blocks(self, env):
+        store = Store(env, capacity=1, overflow="block")
+        env.run(until=store.put("a"))
+        put = store.put("b")
+        env.run()
+        assert not put.triggered  # the classic behaviour: wait for room
+        assert store.shed == 0 and store.rejected == 0
