@@ -8,8 +8,8 @@ Subcommands:
 - ``knactor table1``                  -- regenerate Table 1,
 - ``knactor table2 [--orders N]``     -- regenerate Table 2,
 - ``knactor analyze FILE``            -- statically analyze a DXG file,
-- ``knactor bench shard-scaling|zero-copy|obs-overhead|overload`` -- run a
-  benchmark,
+- ``knactor bench shard-scaling|zero-copy|obs-overhead|overload|txn-chaos``
+  -- run a benchmark,
 - ``knactor trace export FILE``       -- Chrome trace-event JSON of a run,
 - ``knactor trace request KEY``       -- one order's causal DAG + critical path,
 - ``knactor top``                     -- text dashboard of every metric,
@@ -210,6 +210,7 @@ BENCHMARKS = {
     "zero-copy": "bench_zero_copy_delta",
     "obs-overhead": "bench_obs_overhead",
     "overload": "bench_overload",
+    "txn-chaos": "bench_txn_chaos",
 }
 
 

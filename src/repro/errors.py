@@ -34,6 +34,26 @@ class AlreadyExistsError(StoreError):
     """Create was attempted for a key that already exists."""
 
 
+class CrossShardTxnError(StoreError):
+    """A transaction's keys span multiple shards and no cross-shard mode
+    was selected.
+
+    Single-shard transactions stay the default because they are atomic
+    for free (one server, one commit order).  A batch whose keys hash to
+    several shards must opt into the cross-shard transactional plane:
+    ``txn(ops, mode="2pc")`` (atomic, blocks on in-doubt participants) or
+    ``txn(ops, mode="saga")`` (available, compensates on failure) -- see
+    ``docs/transactions.md``.
+
+    ``shard_map`` carries the offending ``key -> shard index`` mapping so
+    callers can co-locate keys or split the batch instead.
+    """
+
+    def __init__(self, message, shard_map=None):
+        super().__init__(message)
+        self.shard_map = dict(shard_map or {})
+
+
 class UnavailableError(StoreError):
     """The component is temporarily down/unreachable; safe to retry.
 

@@ -69,7 +69,8 @@ class ObjectDE(DataExchange):
             client=self._client(location, retry_policy),
         )
 
-    def transaction(self, principal, location=None):
+    def transaction(self, principal, location=None, mode=None,
+                    idempotence_key=None):
         """Start an atomic multi-store transaction (paper §5).
 
         Operations may span any stores hosted on THIS exchange (they share
@@ -77,11 +78,19 @@ class ObjectDE(DataExchange):
         operation passes the same access-control and schema checks a
         handle would apply; ``commit()`` applies all of them in one
         backend round trip, all-or-nothing.
+
+        On a sharded backend, a batch whose keys land on several shards
+        needs ``mode="2pc"`` or ``mode="saga"`` (and optionally an
+        ``idempotence_key`` for exactly-once submission) -- otherwise
+        ``commit()`` fails with
+        :class:`~repro.errors.CrossShardTxnError`.
         """
         return Transaction(
             de=self,
             principal=principal,
             client=self._client(location if location is not None else principal),
+            mode=mode,
+            idempotence_key=idempotence_key,
         )
 
     @property
@@ -240,10 +249,12 @@ class ObjectStoreHandle(StoreHandle):
 class Transaction:
     """An atomic batch of checked operations across one DE's stores."""
 
-    def __init__(self, de, principal, client):
+    def __init__(self, de, principal, client, mode=None, idempotence_key=None):
         self.de = de
         self.principal = principal
         self.client = client
+        self.mode = mode
+        self.idempotence_key = idempotence_key
         self._ops = []
         self.committed = False
 
@@ -302,4 +313,20 @@ class Transaction:
         if not self._ops:
             raise ConfigurationError("empty transaction")
         self.committed = True
+        if self.mode is not None:
+            # Cross-shard plane: only the sharded client understands
+            # modes; surface a clear error on single-server backends
+            # (where every batch is already atomic and mode is noise).
+            try:
+                return self.client.txn(
+                    self._ops, mode=self.mode,
+                    idempotence_key=self.idempotence_key,
+                )
+            except TypeError:
+                raise ConfigurationError(
+                    f"backend {self.client.server.location!r} does not "
+                    "support cross-shard txn modes; drop mode="
+                    f"{self.mode!r} (single-server txns are atomic "
+                    "already)"
+                ) from None
         return self.client.txn(self._ops)

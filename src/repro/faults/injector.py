@@ -131,7 +131,17 @@ class FaultInjector:
         elif kind == UNAVAILABLE:
             self._store(action.target[0]).set_available(False)
         elif kind == KILL:
-            self._process(action.target[0]).kill()
+            process = self._process(action.target[0])
+            phase = action.param("txn_phase")
+            if phase is not None and callable(
+                getattr(process, "arm_phase_kill", None)
+            ):
+                # Phase-targeted kill (FaultPlan.kill_during_txn): the
+                # process dies at the protocol boundary, not at a time.
+                # Restart still happens at the window's end, below.
+                process.arm_phase_kill(phase, restart_after=None)
+            else:
+                process.kill()
         self._log("begin", action)
 
     def _end(self, action):
@@ -157,7 +167,16 @@ class FaultInjector:
             if not self._active.get((CRASH, (location,)), 0):
                 self._store(location).set_available(True)
         elif kind == KILL:
-            self._process(action.target[0]).restart()
+            process = self._process(action.target[0])
+            if action.param("txn_phase") is not None:
+                # Withdraw the arm if it never fired; restart (with
+                # recovery) only if it did.
+                if callable(getattr(process, "disarm_phase_kill", None)):
+                    process.disarm_phase_kill()
+                if not getattr(process, "alive", True):
+                    process.restart()
+            else:
+                process.restart()
         self._log("end", action)
 
     # -- introspection -----------------------------------------------------

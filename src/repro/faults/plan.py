@@ -120,6 +120,32 @@ class FaultPlan:
         """Kill a registered process (reconciler/Cast); restart after."""
         return self._add(FaultAction(at, duration, KILL, (name,)))
 
+    def kill_during_txn(self, process, phase, at, duration):
+        """Kill ``process`` the moment a transaction enters ``phase``.
+
+        Deterministic commit-point chaos: instead of racing a timer
+        against the protocol, the registered process (a
+        :class:`~repro.txn.TxnCoordinator`) arms itself at ``at`` and
+        dies exactly when the next coordination crosses the ``phase``
+        boundary -- ``"prepare"`` (participants locked, nothing
+        decided), ``"commit"`` (decision durable, participants not yet
+        told: the classic in-doubt window), ``"abort"``, or
+        ``"compensate"`` (saga rollback half done).  Restarted (with
+        recovery) at the window's end, like any kill.  If no transaction
+        reaches the phase inside the window, the arm is withdrawn and
+        nothing dies.
+        """
+        from repro.txn.coordinator import PHASES
+
+        if phase not in PHASES:
+            raise ConfigurationError(
+                f"unknown txn phase {phase!r} (use one of {PHASES})"
+            )
+        return self._add(FaultAction(
+            at, duration, KILL, (process,),
+            params=(("txn_phase", phase),),
+        ))
+
     # -- introspection -----------------------------------------------------
 
     def sorted_actions(self):

@@ -111,6 +111,20 @@ class ObsPlane:
                                     ).set_total(entry["rejected"])
                         reg.gauge("admission_scale", exchange=name,
                                   priority=cls).set(entry["scale"])
+                # Cross-shard transactional plane (repro.txn): the
+                # in-doubt gauge is the recovery-health signal -- it
+                # must drain to zero after a coordinator restart.
+                in_doubt = getattr(backend, "in_doubt_txns", None)
+                if in_doubt is not None:
+                    reg.gauge("txn_in_doubt", exchange=name).set(in_doubt)
+                txn_stats_fn = getattr(backend, "txn_stats", None)
+                txn_stats = txn_stats_fn() if txn_stats_fn is not None else None
+                if txn_stats:
+                    for field in ("prepared", "committed", "aborted",
+                                  "compensations", "idempotent_replays",
+                                  "unknown_participants", "recoveries"):
+                        reg.counter(f"txn_{field}_total", exchange=name
+                                    ).set_total(txn_stats[field])
                 copy_stats = getattr(backend, "copy_stats", None)
                 if copy_stats is not None:
                     reg.counter("copied_bytes_total", exchange=name

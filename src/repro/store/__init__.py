@@ -49,7 +49,7 @@ from repro.store.sharded import (
     shard_index,
 )
 from repro.store.retention import RefCountRetention, RetentionPolicy, TTLRetention
-from repro.store.udf import UDFContext, UDFRegistry
+from repro.store.udf import TxnUDFContext, UDFContext, UDFRegistry
 
 __all__ = [
     "ADDED",
@@ -76,6 +76,7 @@ __all__ = [
     "StoreServer",
     "StoredObject",
     "TTLRetention",
+    "TxnUDFContext",
     "UDFContext",
     "UDFRegistry",
     "WatchEvent",

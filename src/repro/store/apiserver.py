@@ -49,6 +49,13 @@ DEFAULT_OPS = {
     "list": OpLatency(base=0.0030, per_byte=1e-9),
     # One persistence round for the whole batch, plus marshalling.
     "txn": OpLatency(base=0.0080, per_byte=4e-9),
+    # Cross-shard 2PC participant ops: prepare persists the held batch
+    # (quorum write of the lock record), commit/abort persist a small
+    # decision marker, status is a cache read.
+    "txn_prepare": OpLatency(base=0.0080, per_byte=4e-9),
+    "txn_commit": OpLatency(base=0.0065),
+    "txn_abort": OpLatency(base=0.0040),
+    "txn_status": OpLatency(base=0.0015),
 }
 
 
@@ -59,6 +66,22 @@ class _WalRecord:
     time: float
     event: object  # the committed WatchEvent
     labels: dict
+
+
+@dataclass(frozen=True)
+class _TxnWalMarker:
+    """A 2PC participant-state transition, durable alongside commits.
+
+    ``prepare`` markers carry the held op batch so a restart can rebuild
+    the in-doubt set (and its key locks) exactly; ``commit``/``abort``
+    markers resolve an earlier prepare.  Interleaved in the one WAL so
+    replay sees transitions in true commit order.
+    """
+
+    time: float
+    kind: str  # "prepare" | "commit" | "abort"
+    txn_id: str
+    ops: tuple = ()
 
 
 class ApiServer(ObjectOpsMixin, StoreServer):
@@ -167,6 +190,16 @@ class ApiServer(ObjectOpsMixin, StoreServer):
     def wal_length(self):
         return len(self._wal)
 
+    def _persist_txn_marker(self, kind, txn_id, ops=None):
+        marker = _TxnWalMarker(
+            self.env.now, kind, txn_id,
+            tuple(copy.deepcopy(op) for op in ops or ()),
+        )
+        self.wal_bytes += 48 + sum(
+            16 + len(str(op.get("key", ""))) for op in marker.ops
+        )
+        self._wal.append(marker)
+
     # -- crash durability ---------------------------------------------------
 
     def _on_crash(self):
@@ -186,6 +219,9 @@ class ApiServer(ObjectOpsMixin, StoreServer):
         created_at = {}
         full_events = []
         for record in self._wal:
+            if isinstance(record, _TxnWalMarker):
+                self._replay_txn_marker(record)
+                continue
             event = record.event
             if event.type == DELETED:
                 self._objects.pop(event.key, None)
@@ -220,6 +256,28 @@ class ApiServer(ObjectOpsMixin, StoreServer):
             self.revision = max(self.revision, event.revision)
         self._history = full_events[-self._history_limit:]
         self._flush_pending_replays()
+
+    def _replay_txn_marker(self, marker):
+        """Rebuild 2PC participant state from one WAL marker.
+
+        A ``prepare`` with no later decision leaves the transaction
+        in-doubt: its ops are re-held and its keys re-locked, so writers
+        keep bouncing off until the coordinator's recovery pass decides.
+        Decided transactions land in the outcome cache (views are gone
+        with the crash -- retried commits after recovery get the state
+        but ``views=None``, which is all idempotence needs).
+        """
+        if marker.kind == "prepare":
+            ops = [copy.deepcopy(op) for op in marker.ops]
+            self._prepared[marker.txn_id] = ops
+            for op in ops:
+                self._txn_locks[op["key"]] = marker.txn_id
+        else:  # "commit" | "abort"
+            ops = self._prepared.pop(marker.txn_id, None)
+            if ops is not None:
+                self._release_txn_locks(marker.txn_id, ops)
+            state = "committed" if marker.kind == "commit" else "aborted"
+            self._txn_outcomes[marker.txn_id] = (state, None)
 
 
 class ApiServerClient(StoreClient):

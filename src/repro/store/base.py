@@ -548,6 +548,13 @@ class StoreServer:
         self.admission = None
         self.op_counts = {}
         self.revision = 0
+        # Cross-shard transactional plane (repro.txn): prepared-but-
+        # undecided transactions, their key locks, and decided outcomes.
+        # Volatile by default; the apiserver backend persists prepare/
+        # decision markers to its WAL and rebuilds these on restart.
+        self._prepared = {}  # txn_id -> [ops]
+        self._txn_locks = {}  # key -> txn_id holding it in-doubt
+        self._txn_outcomes = {}  # txn_id -> ("committed", views) | ("aborted", None)
         # Availability / failure state (see repro.faults).
         self.available = True
         self._epoch = 0  # bumped on failover/crash; queued ops abort
@@ -790,6 +797,26 @@ class StoreServer:
         self.revision += 1
         return self.revision
 
+    # -- cross-shard transaction surface (see repro.txn) ---------------------
+
+    @property
+    def in_doubt_txns(self):
+        """Prepared-but-undecided transaction count (drains on recovery)."""
+        return len(self._prepared)
+
+    @property
+    def prepared_txn_ids(self):
+        return sorted(self._prepared)
+
+    def _persist_txn_marker(self, kind, txn_id, ops=None):
+        """Hook: durably record a prepare/commit/abort transition.
+
+        The base store keeps transaction state in memory only (a crash
+        forgets it, like the Redis-like backend forgets everything); the
+        apiserver backend appends a marker to its WAL so recovery can
+        rebuild in-doubt transactions and decided outcomes.
+        """
+
     # -- failure injection surface (see repro.faults) -----------------------
 
     def fail_over(self):
@@ -855,6 +882,11 @@ class StoreServer:
         self.crash_count += 1
         self.abort_in_flight()
         self.sever_watches()
+        # In-doubt transaction state is volatile: backends with a durable
+        # prepare path (the apiserver WAL) rebuild it in ``_on_restart``.
+        self._prepared = {}
+        self._txn_locks = {}
+        self._txn_outcomes = {}
         self._on_crash()
         if self.tracer is not None:
             self.tracer.record("fault", "store-crash", location=self.location)
@@ -991,6 +1023,22 @@ class StoreClient:
         return result
 
     # -- shared typed surface (get / patch ride the optimizations) -----------
+
+    def txn_prepare(self, txn_id, ops):
+        """2PC phase 1: validate + lock + durably hold ``ops`` server-side."""
+        return self.request("txn_prepare", txn_id=txn_id, ops=ops)
+
+    def txn_commit(self, txn_id):
+        """2PC phase 2: apply a prepared transaction (idempotent)."""
+        return self.request("txn_commit", txn_id=txn_id)
+
+    def txn_abort(self, txn_id):
+        """Drop a prepared transaction and release its locks (idempotent)."""
+        return self.request("txn_abort", txn_id=txn_id)
+
+    def txn_status(self, txn_id):
+        """Recovery probe: prepared / committed / aborted / unknown."""
+        return self.request("txn_status", txn_id=txn_id)
 
     def get(self, key):
         """Read one object; served locally on a read-cache hit."""

@@ -19,10 +19,12 @@ a Lua compare-and-set in real Redis); transactions correspond to
 is also provided for code that wants Redis semantics directly.
 """
 
-from repro.errors import StoreError
+import copy
+
+from repro.errors import ConflictError, StoreError
 from repro.store.base import OpLatency, StoreClient, StoreServer
 from repro.store.objectops import ObjectOpsMixin
-from repro.store.udf import UDFContext, UDFRegistry
+from repro.store.udf import TxnUDFContext, UDFContext, UDFRegistry
 
 #: Redis-class latencies: in-memory, no fsync on the critical path.
 DEFAULT_OPS = {
@@ -34,7 +36,13 @@ DEFAULT_OPS = {
     "list": OpLatency(base=0.00060, per_byte=0.5e-9),
     "command": OpLatency(base=0.00015),
     "fcall": OpLatency(base=0.00030),
+    "fcall_txn": OpLatency(base=0.00035),
     "txn": OpLatency(base=0.00050, per_byte=1.5e-9),
+    # Cross-shard 2PC participant ops (no fsync: in-memory hold).
+    "txn_prepare": OpLatency(base=0.00050, per_byte=1.5e-9),
+    "txn_commit": OpLatency(base=0.00040),
+    "txn_abort": OpLatency(base=0.00020),
+    "txn_status": OpLatency(base=0.00015),
 }
 
 
@@ -67,6 +75,9 @@ class MemKV(ObjectOpsMixin, StoreServer):
         self.functions = UDFRegistry()
         self.watch_overhead = watch_overhead
         self.local_access_cost = local_access_cost
+        self._fcall_effects = {}  # idempotence_key -> cached fcall result
+        self.fcall_replays = 0  # dedup hits: retried/replayed fcall_txn
+        self.fcall_conflicts = 0  # optimistic re-runs after a read moved
 
     # -- raw command surface -------------------------------------------------
 
@@ -120,6 +131,57 @@ class MemKV(ObjectOpsMixin, StoreServer):
 
         return run(self.env)
 
+    def op_fcall_txn(self, name, args=(), idempotence_key=None):
+        """Execute a registered UDF as an in-store *transaction*.
+
+        The function runs against a :class:`~repro.store.udf.TxnUDFContext`:
+        reads hit live state (recording the revision each key was read
+        at), writes buffer, and on return the buffer commits as one
+        atomic ``txn`` batch with read-version preconditions.  If a read
+        key moved underneath the function, the batch aborts and the
+        function re-runs against fresh state (bounded optimistic retry).
+
+        ``idempotence_key`` makes the call exactly-once: the first
+        successful run caches its result under the key, and replays --
+        client retries after a lost reply, DLQ re-deliveries -- return
+        the cached result without re-running the function or its writes.
+        """
+        fn, cost = self.functions.get(name)
+
+        def run(env):
+            if idempotence_key is not None:
+                cached = self._fcall_effects.get(idempotence_key)
+                if cached is not None:
+                    self.fcall_replays += 1
+                    return copy.deepcopy(cached[0])
+            attempts = 0
+            while True:
+                attempts += 1
+                if cost > 0:
+                    yield env.timeout(cost)
+                ctx = TxnUDFContext(self)
+                result = fn(ctx, *args)
+                delay = ctx.ops * self.local_access_cost
+                if delay > 0:
+                    yield env.timeout(delay)
+                ops = ctx.build_ops()
+                if not ops:
+                    break
+                try:
+                    # Synchronous within this instant: the validated
+                    # batch applies with nothing interleaving.
+                    self.op_txn(ops)
+                    break
+                except ConflictError:
+                    self.fcall_conflicts += 1
+                    if attempts >= 8:
+                        raise
+            if idempotence_key is not None:
+                self._fcall_effects[idempotence_key] = (copy.deepcopy(result),)
+            return result
+
+        return run(self.env)
+
     # -- crash semantics -----------------------------------------------------
 
     def _on_crash(self):
@@ -127,9 +189,12 @@ class MemKV(ObjectOpsMixin, StoreServer):
 
         The revision counter is intentionally *not* reset, so post-restart
         commits never reuse a revision that watchers already observed.
+        The fcall idempotence cache is state too: it dies with the data
+        it guards (a replay against an empty store must re-apply).
         """
         self._objects = {}
         self._strings = {}
+        self._fcall_effects = {}
 
 
 class MemKVClient(StoreClient):
@@ -157,3 +222,8 @@ class MemKVClient(StoreClient):
 
     def fcall(self, name, *args):
         return self.request("fcall", name=name, args=args)
+
+    def fcall_txn(self, name, *args, idempotence_key=None):
+        return self.request(
+            "fcall_txn", name=name, args=args, idempotence_key=idempotence_key
+        )

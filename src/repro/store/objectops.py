@@ -52,6 +52,7 @@ class ObjectOpsMixin:
     # -- single operations ---------------------------------------------------
 
     def op_create(self, key, data, labels=None):
+        self._check_txn_lock(key)
         if key in self._objects:
             raise AlreadyExistsError(f"object {key!r} already exists")
         revision = self.next_revision()
@@ -101,6 +102,7 @@ class ObjectOpsMixin:
         return self._view(obj)
 
     def op_delete(self, key):
+        self._check_txn_lock(key)
         obj = self._objects.pop(key, None)
         if obj is None:
             raise NotFoundError(f"object {key!r} not found")
@@ -126,9 +128,21 @@ class ObjectOpsMixin:
         in the same transaction (e.g. create-then-patch is legal).
         Returns the list of resulting views (None for deletes).
         """
+        self._validate_txn(ops)
+        return self._apply_txn(ops)
+
+    def _validate_txn(self, ops):
+        """Phase 1: validate every op against a shadow of current state.
+
+        Raises the first precondition failure with enough detail to
+        debug the abort (expected vs actual resourceVersion, and whether
+        the conflicting revision came from the live store or from an
+        earlier op in the same transaction).  Applies nothing.
+        """
         if not isinstance(ops, list) or not ops:
             raise StoreError("transaction needs a non-empty op list")
-        # Phase 1: validate everything against a shadow state.
+        # Shadow state: key -> live revision, or ("txn", op index) once an
+        # earlier op in this transaction rewrote the key.
         shadow = {key: obj.revision for key, obj in self._objects.items()}
         for index, op in enumerate(ops):
             action = op.get("action")
@@ -137,26 +151,38 @@ class ObjectOpsMixin:
                 raise StoreError(f"txn op {index}: unknown action {action!r}")
             if not key:
                 raise StoreError(f"txn op {index}: missing key")
+            self._check_txn_lock(key)
             if action == "create":
                 if key in shadow:
                     raise AlreadyExistsError(
                         f"txn op {index}: object {key!r} already exists"
                     )
-                shadow[key] = None  # exists from here on
+                shadow[key] = ("txn", index)  # exists from here on
             else:
                 if key not in shadow:
                     raise NotFoundError(f"txn op {index}: object {key!r} not found")
                 expected = op.get("resource_version")
-                if expected is not None and shadow[key] != expected:
+                current = shadow[key]
+                if expected is not None and current != expected:
+                    if isinstance(current, tuple):
+                        actual = (
+                            f"already rewritten by op {current[1]} "
+                            f"of this transaction"
+                        )
+                    else:
+                        actual = f"is {current}"
                     raise ConflictError(
                         f"txn op {index}: object {key!r} changed "
-                        f"(expected revision {expected}, is {shadow[key]})"
+                        f"(expected revision {expected}, {actual})"
                     )
                 if action == "delete":
                     del shadow[key]
                 else:
-                    shadow[key] = None  # revision consumed within the txn
-        # Phase 2: apply (cannot fail now).
+                    shadow[key] = ("txn", index)
+        return shadow
+
+    def _apply_txn(self, ops):
+        """Phase 2: apply a validated op list (cannot fail now)."""
         views = []
         for op in ops:
             action = op["action"]
@@ -170,9 +196,115 @@ class ObjectOpsMixin:
                 views.append(self.op_delete(op["key"]))
         return views
 
+    # -- two-phase-commit participant surface (see repro.txn) -----------------
+
+    def op_txn_prepare(self, txn_id, ops):
+        """Phase 1 of cross-shard 2PC: validate, lock, and hold ``ops``.
+
+        A prepared transaction's keys are locked -- concurrent writers
+        (including other transactions) fail with a retryable
+        :class:`~repro.errors.ConflictError` until the coordinator
+        decides.  Idempotent: re-preparing a known ``txn_id`` reports its
+        current state instead of re-validating, so a coordinator retry
+        after a lost reply never double-locks.
+        """
+        outcome = self._txn_outcomes.get(txn_id)
+        if outcome is not None:
+            return {"txn": txn_id, "state": outcome[0]}
+        if txn_id in self._prepared:
+            return {"txn": txn_id, "state": "prepared"}
+        self._validate_txn(ops)
+        held = [copy.deepcopy(op) for op in ops]
+        self._prepared[txn_id] = held
+        for op in held:
+            self._txn_locks[op["key"]] = txn_id
+        self._persist_txn_marker("prepare", txn_id, ops=held)
+        if self.tracer is not None:
+            self.tracer.record(
+                "store", "txn-prepare", location=self.location, txn=txn_id,
+                ops=len(held),
+            )
+        return {"txn": txn_id, "state": "prepared"}
+
+    def op_txn_commit(self, txn_id):
+        """Phase 2 of cross-shard 2PC: apply a prepared transaction.
+
+        Exactly-once per participant: the first commit applies and
+        records the outcome (with its views); retried commits -- lost
+        replies, coordinator recovery replays -- return the recorded
+        outcome without re-applying.  A ``txn_id`` this store has never
+        prepared (e.g. state lost to a crash on a non-durable backend)
+        reports ``"unknown"`` rather than failing forever.
+        """
+        outcome = self._txn_outcomes.get(txn_id)
+        if outcome is not None:
+            return {"txn": txn_id, "state": outcome[0], "views": outcome[1]}
+        ops = self._prepared.pop(txn_id, None)
+        if ops is None:
+            return {"txn": txn_id, "state": "unknown", "views": None}
+        self._release_txn_locks(txn_id, ops)
+        views = self._apply_txn(ops)
+        self._txn_outcomes[txn_id] = ("committed", views)
+        self._persist_txn_marker("commit", txn_id)
+        if self.tracer is not None:
+            self.tracer.record(
+                "store", "txn-commit", location=self.location, txn=txn_id,
+            )
+        return {"txn": txn_id, "state": "committed", "views": views}
+
+    def op_txn_abort(self, txn_id):
+        """Coordinator decision "abort": drop the prepared ops and locks.
+
+        Idempotent; aborting an unknown or already-decided transaction is
+        a no-op reporting the recorded (or ``"unknown"``) state.
+        """
+        outcome = self._txn_outcomes.get(txn_id)
+        if outcome is not None:
+            return {"txn": txn_id, "state": outcome[0]}
+        ops = self._prepared.pop(txn_id, None)
+        if ops is None:
+            return {"txn": txn_id, "state": "unknown"}
+        self._release_txn_locks(txn_id, ops)
+        self._txn_outcomes[txn_id] = ("aborted", None)
+        self._persist_txn_marker("abort", txn_id)
+        if self.tracer is not None:
+            self.tracer.record(
+                "store", "txn-abort", location=self.location, txn=txn_id,
+            )
+        return {"txn": txn_id, "state": "aborted"}
+
+    def op_txn_status(self, txn_id):
+        """Recovery probe: where did this participant land on ``txn_id``?"""
+        if txn_id in self._prepared:
+            return {"txn": txn_id, "state": "prepared"}
+        outcome = self._txn_outcomes.get(txn_id)
+        if outcome is not None:
+            return {"txn": txn_id, "state": outcome[0]}
+        return {"txn": txn_id, "state": "unknown"}
+
+    def _release_txn_locks(self, txn_id, ops):
+        for op in ops:
+            if self._txn_locks.get(op["key"]) == txn_id:
+                del self._txn_locks[op["key"]]
+
     # -- shared internals ----------------------------------------------------------
 
+    def _check_txn_lock(self, key):
+        """Writers must wait out an in-doubt transaction holding ``key``.
+
+        Retryable :class:`~repro.errors.ConflictError`: reconcilers and
+        retry policies back off and re-offer, and the lock clears as soon
+        as the coordinator (or its recovery pass) decides.
+        """
+        holder = self._txn_locks.get(key)
+        if holder is not None:
+            raise ConflictError(
+                f"object {key!r} is locked by in-doubt transaction "
+                f"{holder!r}; retry after the coordinator decides"
+            )
+
     def _require(self, key, resource_version):
+        self._check_txn_lock(key)
         obj = self._objects.get(key)
         if obj is None:
             raise NotFoundError(f"object {key!r} not found")

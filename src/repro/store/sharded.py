@@ -20,9 +20,12 @@ Design points:
   event order is preserved (a key lives on one shard; shard streams are
   FIFO); cross-shard interleaving is timing-dependent, as it would be
   against a real sharded backend.
-- **Transactions stay single-shard**: a txn whose keys map to more than
-  one shard fails with :class:`~repro.errors.StoreError` rather than
-  pretending atomicity across replicas.
+- **Transactions are single-shard by default**: a txn whose keys map to
+  more than one shard fails with
+  :class:`~repro.errors.CrossShardTxnError` (carrying the key->shard
+  map) unless the caller opts into the cross-shard transactional plane
+  with ``txn(ops, mode="2pc")`` or ``mode="saga"`` -- see
+  :mod:`repro.txn` and ``docs/transactions.md``.
 
 The frontend intentionally mirrors the :class:`~repro.store.base
 .StoreServer` / :class:`~repro.store.base.StoreClient` split so the
@@ -31,7 +34,7 @@ Object Data Exchange can host stores on it unchanged.
 
 import zlib
 
-from repro.errors import StoreError
+from repro.errors import CrossShardTxnError, StoreError
 from repro.store.apiserver import ApiServer, ApiServerClient
 from repro.store.base import StoreClient
 from repro.store.memkv import MemKV, MemKVClient
@@ -63,6 +66,22 @@ class ShardedStore:
         self.name = name
         self.env = shards[0].env
         self.network = shards[0].network
+        self._coordinator = None  # lazy; see .coordinator
+
+    @property
+    def coordinator(self):
+        """The cross-shard transaction coordinator (created on first use).
+
+        One per store: the decision log must be singular for recovery to
+        be meaningful.  Register it with a
+        :class:`~repro.faults.FaultInjector` (``register_process``) to
+        chaos-test the commit protocol.
+        """
+        if self._coordinator is None:
+            from repro.txn import TxnCoordinator
+
+            self._coordinator = TxnCoordinator(self)
+        return self._coordinator
 
     # -- identity ------------------------------------------------------------
 
@@ -178,6 +197,21 @@ class ShardedStore:
         from repro.store.cow import CopyMeter
 
         return CopyMeter.merge_snapshots([s.copy_stats for s in self.shards])
+
+    @property
+    def in_doubt_txns(self):
+        """Prepared-but-undecided 2PC participants, summed across shards.
+
+        Drains to zero once the coordinator (or its recovery pass after a
+        restart) delivers a decision to every prepared shard.
+        """
+        return sum(s.in_doubt_txns for s in self.shards)
+
+    def txn_stats(self):
+        """Coordinator counters (zeros if no cross-shard txn ever ran)."""
+        if self._coordinator is None:
+            return {}
+        return self._coordinator.txn_stats()
 
     @property
     def aborted_ops(self):
@@ -370,14 +404,28 @@ class ShardedStoreClient:
 
     # -- transactions --------------------------------------------------------
 
-    def txn(self, ops):
-        """Atomic batch -- only when every key maps to ONE shard.
+    def txn(self, ops, mode=None, idempotence_key=None):
+        """Atomic batch; cross-shard only with an explicit ``mode``.
 
-        A cross-shard batch fails with :class:`~repro.errors.StoreError`
-        (surfaced through the returned event, like any server error):
-        shards have independent commit orders, so pretending cross-shard
-        atomicity would be a lie the failure-injection suite could catch.
+        Single-shard batches take the fast path: one server, one commit
+        order, atomicity for free.  A batch whose keys map to several
+        shards fails with :class:`~repro.errors.CrossShardTxnError`
+        (carrying the key->shard map) unless the caller selects a
+        cross-shard protocol:
+
+        - ``mode="2pc"``: atomic across shards via two-phase commit;
+          in-doubt participants block conflicting writers until the
+          coordinator decides (see :mod:`repro.txn`);
+        - ``mode="saga"``: per-shard commits with compensating rollback;
+          no cross-shard locks, but intermediate states are visible.
+
+        ``idempotence_key`` (cross-shard modes) makes the submission
+        exactly-once across retries and replays.
         """
+        if mode is not None:
+            return self.store.coordinator.txn(
+                ops, mode=mode, idempotence_key=idempotence_key
+            )
         try:
             target = self._txn_client(ops)
         except StoreError as exc:
@@ -389,15 +437,19 @@ class ShardedStoreClient:
     def _txn_client(self, ops):
         if not isinstance(ops, list) or not ops:
             return self.clients[0]  # shard raises the canonical validation error
-        owners = {
-            shard_index(str(op.get("key") or ""), len(self.clients))
+        shard_map = {
+            str(op.get("key") or ""):
+                shard_index(str(op.get("key") or ""), len(self.clients))
             for op in ops
         }
+        owners = set(shard_map.values())
         if len(owners) > 1:
-            raise StoreError(
-                "cross-shard transactions are not supported: keys "
-                f"{sorted(str(op.get('key')) for op in ops)} map to "
-                f"{len(owners)} shards; co-locate transactional keys"
+            raise CrossShardTxnError(
+                "cross-shard transactions need an explicit mode: keys "
+                f"{sorted(shard_map)} map to {len(owners)} shards; pass "
+                "mode='2pc' or mode='saga', or co-locate transactional "
+                "keys",
+                shard_map=shard_map,
             )
         return self.clients[owners.pop()]
 

@@ -1,0 +1,629 @@
+"""The cross-shard transaction coordinator: deterministic 2PC + sagas.
+
+A :class:`ShardedStore` has no global commit order -- each shard is its
+own server with its own revision counter -- so a batch whose keys span
+shards needs a protocol, not a lie.  :class:`TxnCoordinator` offers two:
+
+**Two-phase commit** (``mode="2pc"``): every participant shard validates
+and *prepares* the sub-batch it owns (locking the keys and -- on the
+durable backend -- persisting a WAL marker), then the coordinator appends
+a commit decision to its own durable log and drives each participant's
+commit.  The decision append is the commit point: a coordinator killed
+before it recovers by presumed abort; killed after, by re-driving the
+(idempotent) participant commits.  Atomic, but in-doubt participants
+block conflicting writers until a decision lands -- the classic 2PC
+availability trade.
+
+**Saga** (``mode="saga"``): per-shard sub-batches commit eagerly, one
+shard at a time, and a failure (or coordinator crash) rolls the applied
+shards back with *compensating* transactions derived from pre-images (or
+registered per-action compensators).  No locks held across shards, so no
+blocking -- but intermediate states are visible and "atomicity" means
+*eventually all-or-nothing*, the saga literature's usual contract.
+
+**Exactly-once**: callers tag a transaction with an ``idempotence_key``.
+The first submission owns the key; duplicates -- client retries after a
+lost reply, DLQ replays, crash-recovery re-submissions -- either wait for
+the in-flight original or return its recorded outcome without touching
+any shard.  A key whose transaction *aborted* (zero effects) is released,
+so a retry can run fresh.
+
+Determinism: shard groups are visited in sorted order, txn ids come from
+a counter, retry jitter comes from a seeded RNG, and phase-targeted kills
+(:meth:`arm_phase_kill`, used by ``FaultPlan.kill_during_txn``) trigger
+at protocol points rather than at wall-clock times -- the same seed
+replays the same interleaving, including the chaos.
+"""
+
+import random
+
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    NotFoundError,
+    StoreError,
+    UnavailableError,
+)
+from repro.obs.context import current_context
+from repro.simnet import Interrupt
+
+#: How long a duplicate submission polls an in-flight original before
+#: giving up retryably (virtual seconds).
+_WAIT_TIMEOUT = 5.0
+_WAIT_TICK = 0.002
+
+#: Phases a chaos plan can target with an armed kill.
+PHASES = ("prepare", "commit", "abort", "compensate")
+
+
+class _Killed(Exception):
+    """Internal: an armed phase kill fired inside this coordination."""
+
+
+def _default_compensation(op, pre_image):
+    """The derived inverse of one applied op, from its pre-image view.
+
+    create -> delete; delete -> re-create the old data; update/patch ->
+    restore the old data.  ``pre_image`` is the object view captured
+    *before* the saga step applied (None when the key did not exist).
+    """
+    action = op["action"]
+    key = op["key"]
+    if action == "create":
+        return {"action": "delete", "key": key}
+    if pre_image is None:
+        # update/patch/delete of a key that did not pre-exist can only
+        # have been create-then-X within the same sub-batch: delete it.
+        return {"action": "delete", "key": key}
+    if action == "delete":
+        return {"action": "create", "key": key, "data": pre_image["data"]}
+    return {"action": "update", "key": key, "data": pre_image["data"]}
+
+
+class TxnCoordinator:
+    """Cross-shard transactions over one :class:`ShardedStore`.
+
+    The coordinator is a killable *process* (register it with a
+    :class:`~repro.faults.FaultInjector` to chaos-test it): ``kill()``
+    loses every in-flight coordination but keeps the decision log and
+    idempotence table (its "disk"); ``restart()`` runs recovery, which
+    re-drives decided commits, presumed-aborts undecided prepares, and
+    compensates unfinished sagas -- draining every participant's
+    in-doubt set.
+    """
+
+    def __init__(self, store, location=None, tracer=None, seed=0,
+                 max_attempts=200):
+        from repro.store.base import StoreClient
+        from repro.store.sharded import _SHARD_CLIENTS
+
+        self.store = store
+        self.env = store.env
+        self.location = location or f"{store.name}-txncoord"
+        self.tracer = tracer
+        self.max_attempts = max_attempts
+        self._rng = random.Random(seed)
+        self.clients = [
+            _SHARD_CLIENTS.get(type(shard), StoreClient)(shard, self.location)
+            for shard in store.shards
+        ]
+        # -- durable state (the coordinator's "disk"): survives kill() --
+        self._log = {}  # txn_id -> record dict
+        self._order = []  # txn ids in admission order
+        self._idem = {}  # idempotence_key -> txn_id
+        self._seq = 0
+        # -- volatile state: lost on kill() --
+        self._inflight = {}  # txn_id -> simnet process
+        self.alive = True
+        self._phase_kill = None  # (phase, restart_after) or None
+        # -- registered compensations (saga mode) --
+        self._compensations = {}  # action -> fn(op, pre_image) -> op | None
+        # -- counters (scraped by the obs plane) --
+        self.prepared_total = 0
+        self.committed_total = 0
+        self.aborted_total = 0
+        self.compensations_total = 0
+        self.idempotent_replays = 0
+        self.unknown_participants = 0
+        self.kill_count = 0
+        self.recoveries = 0
+
+    # -- public surface ------------------------------------------------------
+
+    def txn(self, ops, mode="2pc", idempotence_key=None):
+        """Run ``ops`` atomically across shards; returns a simnet process.
+
+        The caller's ambient trace context is captured synchronously, so
+        the transaction's span tree chains onto the request that issued
+        it.  Raises through the process event:
+        :class:`~repro.errors.UnavailableError` (retryable -- coordinator
+        down or killed mid-flight; retry with the same
+        ``idempotence_key`` for exactly-once), or the participant's
+        validation error on abort.
+        """
+        if mode not in ("2pc", "saga"):
+            raise ConfigurationError(
+                f"unknown txn mode {mode!r} (use '2pc' or 'saga')"
+            )
+        parent = current_context()
+        return self.env.process(self._submit(ops, mode, idempotence_key,
+                                             parent))
+
+    def register_compensation(self, action, fn):
+        """Override the derived saga inverse for one op ``action``.
+
+        ``fn(op, pre_image) -> compensation op dict | None`` (None: no
+        compensation needed for this op).
+        """
+        if action not in ("create", "update", "patch", "delete"):
+            raise ConfigurationError(f"unknown txn action {action!r}")
+        if not callable(fn):
+            raise ConfigurationError("compensation must be callable")
+        self._compensations[action] = fn
+
+    def txn_stats(self):
+        return {
+            "prepared": self.prepared_total,
+            "committed": self.committed_total,
+            "aborted": self.aborted_total,
+            "compensations": self.compensations_total,
+            "idempotent_replays": self.idempotent_replays,
+            "unknown_participants": self.unknown_participants,
+            "recoveries": self.recoveries,
+            "in_flight": len(self._inflight),
+        }
+
+    @property
+    def decision_log_length(self):
+        return len(self._log)
+
+    def outcome(self, txn_id):
+        record = self._log.get(txn_id)
+        return record["state"] if record else None
+
+    # -- process fault surface (repro.faults) --------------------------------
+
+    def kill(self):
+        """Crash the coordinator: in-flight coordinations die mid-phase.
+
+        Callers see a retryable :class:`~repro.errors.UnavailableError`;
+        participants are left prepared (in-doubt) or half-applied (saga)
+        until :meth:`restart` runs recovery.  The decision log and
+        idempotence table survive -- they are the protocol's disk.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.kill_count += 1
+        self._phase_kill = None
+        inflight, self._inflight = self._inflight, {}
+        for proc in inflight.values():
+            if proc.is_alive and proc is not self.env.active_process:
+                self._orphan_target(proc)
+                proc.interrupt("txn coordinator killed")
+
+    def restart(self):
+        """Recover after :meth:`kill`: resolve every undecided record."""
+        if self.alive:
+            return
+        self.alive = True
+        self.env.process(self._recover())
+
+    def arm_phase_kill(self, phase, restart_after=None):
+        """Kill the coordinator when the NEXT coordination enters ``phase``.
+
+        Deterministic chaos: instead of racing a timer against the
+        protocol, the kill lands exactly at the phase boundary --
+        ``"commit"`` means "immediately after the durable commit
+        decision, before any participant commit lands", the classic
+        in-doubt window.  With ``restart_after`` the coordinator
+        schedules its own restart; a :class:`~repro.faults.FaultInjector`
+        passes None and restarts it at the fault window's end instead.
+        """
+        if phase not in PHASES:
+            raise ConfigurationError(
+                f"unknown txn phase {phase!r} (use one of {PHASES})"
+            )
+        self._phase_kill = (phase, restart_after)
+
+    def disarm_phase_kill(self):
+        self._phase_kill = None
+
+    def _maybe_phase_kill(self, phase):
+        armed = self._phase_kill
+        if armed is None or armed[0] != phase or not self.alive:
+            return
+        self._phase_kill = None
+        restart_after = armed[1]
+        # Kill every OTHER in-flight coordination; this one dies by
+        # raising (interrupting the currently-running process from
+        # inside itself is not a thing).
+        self.alive = False
+        self.kill_count += 1
+        inflight, self._inflight = self._inflight, {}
+        for proc in inflight.values():
+            # Every OTHER coordination gets interrupted at its current
+            # yield; we (the active process) die by raising below.
+            if proc.is_alive and proc is not self.env.active_process:
+                self._orphan_target(proc)
+                proc.interrupt("txn coordinator killed")
+        if restart_after is not None:
+            timer = self.env.timeout(restart_after)
+            timer.callbacks.append(lambda _evt: self.restart())
+        raise _Killed(phase)
+
+    @staticmethod
+    def _orphan_target(proc):
+        """Abandon whatever participant call ``proc`` is waiting on.
+
+        The interrupted coordination will never collect the reply; if
+        the abandoned request later fails (NotFound on a pre-image get,
+        a conflict...), that answer must evaporate with its asker, not
+        crash the event loop as an unhandled failure.
+        """
+        target = proc.target
+        if target is not None:
+            target._defused = True
+
+    # -- submission / idempotence --------------------------------------------
+
+    def _submit(self, ops, mode, idempotence_key, parent):
+        if not self.alive:
+            raise UnavailableError("txn coordinator is down")
+        if idempotence_key is not None:
+            known = self._idem.get(idempotence_key)
+            if known is not None:
+                result = yield from self._await_duplicate(known)
+                if result is not _RETRY_FRESH:
+                    return result
+                # Prior owner aborted with zero effects: run fresh.
+        txn_id = self._next_txn_id()
+        record = {
+            "id": txn_id,
+            "mode": mode,
+            "ops": [dict(op) for op in ops],
+            "state": "preparing" if mode == "2pc" else "saga",
+            "views": None,
+            "error": None,
+            "idempotence_key": idempotence_key,
+            "pre_images": {},  # saga: shard index -> {key: view | None}
+            "applied": [],  # saga: shard indexes applied, in order
+        }
+        self._log[txn_id] = record
+        self._order.append(txn_id)
+        if idempotence_key is not None:
+            self._idem[idempotence_key] = txn_id
+        result = yield from self._coordinate(txn_id, record, parent)
+        return result
+
+    def _await_duplicate(self, txn_id):
+        """Second submission under a taken idempotence key.
+
+        Waits out an in-flight original, then maps the terminal state:
+        committed -> its recorded views (exactly-once: nothing re-runs);
+        aborted/compensated -> ``_RETRY_FRESH`` (zero effects happened,
+        the key is released and the duplicate may run as a new txn).
+        """
+        record = self._log[txn_id]
+        waited = 0.0
+        while record["state"] in ("preparing", "commit", "saga",
+                                  "aborting", "compensating"):
+            if waited >= _WAIT_TIMEOUT:
+                raise UnavailableError(
+                    f"transaction {txn_id} is still undecided; retry"
+                )
+            yield self.env.timeout(_WAIT_TICK)
+            waited += _WAIT_TICK
+        if record["state"] == "committed":
+            self.idempotent_replays += 1
+            return record["views"]
+        return _RETRY_FRESH
+
+    def _next_txn_id(self):
+        self._seq += 1
+        return f"txn-{self._seq:06d}"
+
+    # -- the coordination process --------------------------------------------
+
+    def _coordinate(self, txn_id, record, parent):
+        self._inflight[txn_id] = self.env.active_process
+        ctx = self._start_span("txn", parent, txn=txn_id,
+                               mode=record["mode"])
+        try:
+            if record["mode"] == "2pc":
+                views = yield from self._run_2pc(txn_id, record, ctx)
+            else:
+                views = yield from self._run_saga(txn_id, record, ctx)
+        except Interrupt:
+            self._end_span(ctx, outcome="killed")
+            raise UnavailableError(
+                f"txn coordinator killed while coordinating {txn_id}; "
+                "retry with the same idempotence key"
+            ) from None
+        except _Killed as killed:
+            self._end_span(ctx, outcome=f"killed-at-{killed.args[0]}")
+            raise UnavailableError(
+                f"txn coordinator killed at {killed.args[0]} of {txn_id}; "
+                "retry with the same idempotence key"
+            ) from None
+        except StoreError as exc:
+            record["error"] = exc
+            self._end_span(ctx, outcome=type(exc).__name__)
+            raise
+        finally:
+            self._inflight.pop(txn_id, None)
+        self._end_span(ctx, outcome="ok")
+        return views
+
+    def _groups(self, ops):
+        """Deterministic shard grouping: sorted shard index -> sub-batch."""
+        from repro.store.sharded import shard_index
+
+        groups = {}
+        for op in ops:
+            idx = shard_index(str(op.get("key") or ""), len(self.clients))
+            groups.setdefault(idx, []).append(op)
+        return [(idx, groups[idx]) for idx in sorted(groups)]
+
+    # -- 2PC -----------------------------------------------------------------
+
+    def _run_2pc(self, txn_id, record, ctx):
+        groups = self._groups(record["ops"])
+        # Phase 1: prepare every participant, in shard order.
+        self._maybe_phase_kill("prepare")
+        span = self._start_span("txn-prepare", ctx, txn=txn_id,
+                                participants=len(groups))
+        try:
+            for idx, sub in groups:
+                yield from self._call(
+                    lambda: self.clients[idx].txn_prepare(txn_id, sub)
+                )
+        except (UnavailableError, DeadlineExceededError):
+            # Could not reach a participant at all: presumed abort.
+            self._end_span(span, outcome="unreachable")
+            yield from self._drive_aborts(txn_id, record, groups, ctx)
+            raise
+        except StoreError as exc:
+            # Validation failed on some shard: abort the others.
+            self._end_span(span, outcome=type(exc).__name__)
+            yield from self._drive_aborts(txn_id, record, groups, ctx)
+            raise
+        self._end_span(span, outcome="ok")
+        self.prepared_total += len(groups)
+        # The commit point: one durable append to the decision log.
+        record["state"] = "commit"
+        if ctx is not None:
+            ctx.sink.annotate(ctx, "decision", decision="commit")
+        self._maybe_phase_kill("commit")
+        # Phase 2: drive every participant commit (idempotent; retried
+        # through unavailability until it lands).
+        views = yield from self._drive_commits(txn_id, record, groups, ctx)
+        return views
+
+    def _drive_commits(self, txn_id, record, groups, ctx):
+        span = self._start_span("txn-commit", ctx, txn=txn_id)
+        views = []
+        for idx, _sub in groups:
+            reply = yield from self._call(
+                lambda: self.clients[idx].txn_commit(txn_id)
+            )
+            if reply["state"] == "unknown":
+                # The participant lost its prepared state (non-durable
+                # backend crash): its keyspace is gone wholesale, so
+                # atomicity is vacuously preserved.  Count it -- chaos
+                # runs assert this only happens to memkv shards.
+                self.unknown_participants += 1
+            if reply.get("views"):
+                views.extend(reply["views"])
+        record["state"] = "committed"
+        record["views"] = views
+        self.committed_total += 1
+        self._end_span(span, outcome="ok")
+        return views
+
+    def _drive_aborts(self, txn_id, record, groups, ctx):
+        record["state"] = "aborting"
+        self._maybe_phase_kill("abort")
+        span = self._start_span("txn-abort", ctx, txn=txn_id)
+        for idx, _sub in groups:
+            yield from self._call(
+                lambda: self.clients[idx].txn_abort(txn_id)
+            )
+        record["state"] = "aborted"
+        self.aborted_total += 1
+        self._release_idem(record)
+        self._end_span(span, outcome="ok")
+
+    # -- saga ----------------------------------------------------------------
+
+    def _run_saga(self, txn_id, record, ctx):
+        groups = self._groups(record["ops"])
+        views = []
+        try:
+            for idx, sub in groups:
+                # Capture pre-images first: compensation must know what
+                # to restore, and must know it durably (the record is
+                # the coordinator's disk) before the step applies.
+                pre = {}
+                for op in sub:
+                    key = op["key"]
+                    if key in pre:
+                        continue
+                    try:
+                        view = yield from self._call(
+                            lambda: self.clients[idx].get(key)
+                        )
+                        pre[key] = view
+                    except NotFoundError:
+                        pre[key] = None
+                record["pre_images"][idx] = pre
+                # Each step is a single-shard mini-2PC: prepare+commit
+                # gives the participant a durable, idempotent outcome,
+                # so a replayed step never double-applies.
+                step_id = f"{txn_id}.s{idx}"
+                self._maybe_phase_kill("prepare")
+                yield from self._call(
+                    lambda: self.clients[idx].txn_prepare(step_id, sub)
+                )
+                self._maybe_phase_kill("commit")
+                reply = yield from self._call(
+                    lambda: self.clients[idx].txn_commit(step_id)
+                )
+                record["applied"].append(idx)
+                if ctx is not None:
+                    ctx.sink.annotate(ctx, "saga-step", shard=idx)
+                if reply.get("views"):
+                    views.extend(reply["views"])
+        except (UnavailableError, DeadlineExceededError):
+            yield from self._compensate(txn_id, record, ctx)
+            raise
+        except StoreError:
+            yield from self._compensate(txn_id, record, ctx)
+            raise
+        record["state"] = "committed"
+        record["views"] = views
+        self.committed_total += 1
+        return views
+
+    def _compensate(self, txn_id, record, ctx):
+        """Roll back every applied saga step, newest first."""
+        record["state"] = "compensating"
+        self._maybe_phase_kill("compensate")
+        span = self._start_span("txn-compensate", ctx, txn=txn_id,
+                                steps=len(record["applied"]))
+        groups = dict(self._groups(record["ops"]))
+        # A step prepared but never committed (killed between the two)
+        # is in-doubt on its shard: abort it so the locks drain.  No-op
+        # ("unknown") on shards the saga never reached.  One twist: the
+        # participant may have COMMITTED the step but the coordinator
+        # died before the reply landed -- the abort then answers
+        # "committed", and the step must join the rollback set.
+        for idx in sorted(groups):
+            if idx not in record["applied"]:
+                reply = yield from self._call(
+                    lambda: self.clients[idx].txn_abort(f"{txn_id}.s{idx}")
+                )
+                if reply["state"] == "committed":
+                    record["applied"].append(idx)
+        for idx in reversed(record["applied"]):
+            sub = groups[idx]
+            pre = record["pre_images"].get(idx, {})
+            comp_ops = []
+            for op in reversed(sub):
+                fn = self._compensations.get(op["action"],
+                                             _default_compensation)
+                inverse = fn(op, pre.get(op["key"]))
+                if inverse is not None:
+                    comp_ops.append(inverse)
+            if not comp_ops:
+                continue
+            # Compensations are themselves mini-2PC steps: idempotent
+            # under recovery replay.
+            comp_id = f"{txn_id}.c{idx}"
+            yield from self._call(
+                lambda: self.clients[idx].txn_prepare(comp_id, comp_ops)
+            )
+            yield from self._call(
+                lambda: self.clients[idx].txn_commit(comp_id)
+            )
+            self.compensations_total += 1
+        record["state"] = "compensated"
+        self.aborted_total += 1
+        self._release_idem(record)
+        self._end_span(span, outcome="ok")
+
+    # -- recovery ------------------------------------------------------------
+
+    def _recover(self):
+        """Resolve every non-terminal record after a restart.
+
+        Decided 2PC transactions re-drive their participant commits
+        (idempotent); undecided ones are presumed abort; unfinished
+        sagas roll back.  When this drains, no participant holds an
+        in-doubt prepare from this coordinator.
+        """
+        self.recoveries += 1
+        ctx = self._start_span("txn-recovery", None,
+                               coordinator=self.location)
+        resolved = 0
+        for txn_id in list(self._order):
+            record = self._log[txn_id]
+            state = record["state"]
+            if state in ("committed", "aborted", "compensated"):
+                continue
+            resolved += 1
+            groups = self._groups(record["ops"])
+            try:
+                if record["mode"] == "2pc":
+                    if state == "commit":
+                        # Decision was durable: finish the commit.
+                        yield from self._drive_commits(
+                            txn_id, record, groups, ctx
+                        )
+                    else:
+                        # No decision: presumed abort.
+                        yield from self._drive_aborts(
+                            txn_id, record, groups, ctx
+                        )
+                else:
+                    yield from self._compensate(txn_id, record, ctx)
+            except (Interrupt, _Killed):
+                # Killed again mid-recovery: the next restart resumes.
+                self._end_span(ctx, outcome="killed", resolved=resolved)
+                return
+            except StoreError:
+                # A participant stayed unreachable past the retry
+                # budget; the record stays non-terminal for the next
+                # recovery pass.
+                continue
+        self._end_span(ctx, outcome="ok", resolved=resolved)
+
+    def recover(self):
+        """Run one recovery pass explicitly; returns the process."""
+        return self.env.process(self._recover())
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _call(self, factory):
+        """Drive one participant call, retrying through unavailability.
+
+        Bounded (``max_attempts``) capped exponential backoff with
+        seeded jitter -- deterministic for a given coordinator seed.
+        Store-level errors (validation, conflicts) propagate
+        immediately: they are answers, not outages.
+        """
+        attempts = 0
+        while True:
+            attempts += 1
+            if not self.alive:
+                raise UnavailableError("txn coordinator is down")
+            try:
+                result = yield factory()
+                return result
+            except (UnavailableError, DeadlineExceededError):
+                if attempts >= self.max_attempts:
+                    raise
+                delay = min(0.2, 0.004 * (2 ** min(attempts, 6)))
+                yield self.env.timeout(delay * (0.5 + self._rng.random()))
+
+    def _release_idem(self, record):
+        """An aborted txn had zero effects: free its idempotence key."""
+        key = record.get("idempotence_key")
+        if key is not None and self._idem.get(key) == record["id"]:
+            del self._idem[key]
+
+    def _start_span(self, name, parent, **attrs):
+        sink = self.tracer
+        if parent is not None and parent.sink is not None:
+            sink = parent.sink
+        if sink is None:
+            return None
+        return sink.start_span(name, self.location, parent=parent, **attrs)
+
+    def _end_span(self, ctx, **attrs):
+        if ctx is not None:
+            ctx.sink.end_span(ctx, **attrs)
+
+
+#: Sentinel: the duplicate may run as a fresh transaction.
+_RETRY_FRESH = object()
