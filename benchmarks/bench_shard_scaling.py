@@ -30,6 +30,7 @@ import pytest
 from repro.apps.retail.knactor_app import RetailKnactorApp
 from repro.apps.retail.workload import OrderWorkload
 from repro.core.optimizer import K_APISERVER, K_REDIS
+from repro.store import Topology
 
 SEED = 11
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_shard_scaling.json"
@@ -60,7 +61,8 @@ def _percentile(values, q):
 def run_shard_case(shards, orders=THROUGHPUT_ORDERS):
     """One concurrent create burst; returns throughput + latency stats."""
     app = RetailKnactorApp.build(
-        profile=K_APISERVER, with_notify=False, shards=shards, seed=SEED,
+        profile=K_APISERVER, with_notify=False, seed=SEED,
+        topology=Topology(shards=shards) if shards > 1 else None,
     )
     workload = OrderWorkload(seed=SEED)
     batch = workload.orders(orders)

@@ -46,7 +46,7 @@ from repro.errors import (
 )
 from repro.faults import FaultInjector, FaultPlan
 from repro.simnet import Environment, FixedLatency, Network
-from repro.store import ApiServer, ShardedStore, ShardedStoreClient, shard_index
+from repro.store import ApiServer, ShardRing, ShardedStore, ShardedStoreClient
 from repro.txn.coordinator import PHASES
 
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_txn_chaos.json"
@@ -85,7 +85,7 @@ def workload(seed, n_txns):
         while len(keys) < want or len(covered) < 2:
             key = f"b{seed}-t{t}-k{i}"
             i += 1
-            idx = shard_index(key, N_SHARDS)
+            idx = ShardRing.for_count(N_SHARDS).owner_index(key)
             if len(keys) < want or idx not in covered:
                 keys.append(key)
                 covered.add(idx)
@@ -240,7 +240,9 @@ def _submit_optimistic(env, client, ops, outcomes, t):
     AlreadyExistsError and cannot tell whose write landed."""
     by_shard = {}
     for op in ops:
-        by_shard.setdefault(shard_index(op["key"], N_SHARDS), []).append(op)
+        by_shard.setdefault(
+            ShardRing.for_count(N_SHARDS).owner_index(op["key"]), []
+        ).append(op)
     results = []
     for _idx, slice_ops in sorted(by_shard.items()):
         attempts, result = 0, "gave-up"

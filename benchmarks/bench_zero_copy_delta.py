@@ -36,6 +36,7 @@ import pytest
 from repro.apps.retail.knactor_app import RetailKnactorApp
 from repro.apps.retail.workload import OrderWorkload
 from repro.core.optimizer import K_APISERVER
+from repro.store import Topology
 
 SEED = 17
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_zero_copy_delta.json"
@@ -75,7 +76,8 @@ def run_case(mode, zero_copy, delta_watch, shards,
     the three planes can be proven observably identical.
     """
     app = RetailKnactorApp.build(
-        profile=K_APISERVER, with_notify=False, shards=shards, seed=SEED,
+        profile=K_APISERVER, with_notify=False, seed=SEED,
+        topology=Topology(shards=shards) if shards > 1 else None,
         zero_copy=zero_copy, delta_watch=delta_watch,
     )
 

@@ -20,6 +20,7 @@ from repro.flow import INTEGRATOR, FlowConfig
 from repro.obs.context import use
 from repro.simnet import Environment, Network, Tracer
 from repro.store import ApiServer, MemKV, ShardedStore
+from repro.store.ring import coerce_shards_knob
 
 #: Fig. 6, verbatim: the data exchange graph composing Checkout,
 #: Shipping, and Payment.
@@ -93,7 +94,8 @@ class RetailKnactorApp:
 
     @classmethod
     def build(cls, env=None, profile=K_APISERVER, seed=7, with_notify=True,
-              dxg=None, retry_policy=None, shards=1, watch_batch_window=0.0,
+              dxg=None, retry_policy=None, shards=1, topology=None,
+              watch_batch_window=0.0,
               zero_copy=True, delta_watch=False, obs=None, flow=None):
         """Construct the full app under an optimization profile.
 
@@ -102,8 +104,11 @@ class RetailKnactorApp:
         measured configuration).  ``retry_policy`` (a
         :class:`repro.faults.RetryPolicy`) is shared by every store
         client the exchange mints -- required for chaos runs, harmless
-        otherwise.  ``shards > 1`` hash-partitions the Object backend
-        across that many replicas (a :class:`repro.store.ShardedStore`);
+        otherwise.  ``topology`` (a :class:`repro.store.Topology`)
+        hash-partitions the Object backend on a consistent-hash ring (a
+        :class:`repro.store.ShardedStore`) and enables live resharding;
+        the integer ``shards=N`` knob is a deprecated alias for
+        ``topology=Topology(shards=N)``;
         ``watch_batch_window > 0`` (seconds) coalesces watch fan-out per
         watcher per window -- the scale-out hot path.  ``zero_copy``
         keeps store state as frozen structurally-shared views (reads
@@ -143,10 +148,14 @@ class RetailKnactorApp:
                 zero_copy=zero_copy, delta_watch=delta_watch,
             )
 
-        if shards > 1:
+        if topology is None and shards != 1:
+            topology = coerce_shards_knob(
+                shards, "RetailKnactorApp.build(shards=)"
+            )
+        if topology is not None:
             backend = ShardedStore(
-                [make_backend(f"object-backend-{i}") for i in range(shards)],
-                name="object-backend",
+                topology=topology, name="object-backend",
+                shard_factory=lambda i: make_backend(f"object-backend-{i}"),
             )
         else:
             backend = make_backend("object-backend")
@@ -156,7 +165,7 @@ class RetailKnactorApp:
             principals = {"retail-cast": INTEGRATOR, "notify-cast": INTEGRATOR}
             principals.update(flow_cfg.principals)
             flow_cfg = replace(flow_cfg, principals=principals)
-            if shards > 1:
+            if isinstance(backend, ShardedStore):
                 backend.set_admission(lambda: flow_cfg.build_admission(env))
             else:
                 backend.admission = flow_cfg.build_admission(env)

@@ -199,8 +199,52 @@ def cmd_trace_request(args):
 
 
 def cmd_top(args):
+    if getattr(args, "elastic", False):
+        return _cmd_top_elastic(args)
     app = _run_traced_retail(args.profile, args.orders)
     print(app.runtime.obs.dashboard())
+    return 0
+
+
+def _cmd_top_elastic(args):
+    """`knactor top --elastic`: the dashboard of a live-reshard run.
+
+    Runs the retail app on a sharded Object backend inside a cluster
+    :class:`~repro.cluster.ShardFleet` whose autoscaler drives shard
+    count from queue-depth load, then prints the metric dashboard --
+    ring version, shard count, migration volume, and every scaling
+    event next to the usual series.
+    """
+    from repro.apps.retail.knactor_app import RetailKnactorApp
+    from repro.apps.retail.workload import OrderWorkload
+    from repro.cluster import Cluster, ShardFleet
+    from repro.core.optimizer import PROFILES
+    from repro.store import AutoscalePolicy, Topology
+
+    topology = Topology(
+        shards=2, min_shards=1, max_shards=4,
+        autoscale=AutoscalePolicy(target_queue_depth=2.0, interval=0.5,
+                                  cooldown=1.0),
+    )
+    app = RetailKnactorApp.build(profile=PROFILES[args.profile], obs=True,
+                                 topology=topology)
+    backend = app.runtime.exchanges["object"].backend
+    cluster = Cluster(app.env)
+    fleet = ShardFleet(cluster, backend)
+    app.runtime.obs.watch_autoscalers([fleet.autoscaler])
+    fleet.start()
+    workload = OrderWorkload(seed=7)
+    for _ in range(args.orders):
+        key, data = workload.next_order()
+        app.env.run(until=app.place_order(key, data))
+    app.run_until_quiet(max_seconds=60.0)
+    fleet.stop()
+    print(app.runtime.obs.dashboard())
+    stats = fleet.stats()
+    print(f"fleet: shards={stats['shards']} "
+          f"ready_pods={stats['ready_pods']} "
+          f"scaling_events={stats['scaling_events']} "
+          f"reshards_driven={stats['reshards_driven']}")
     return 0
 
 
@@ -211,6 +255,7 @@ BENCHMARKS = {
     "obs-overhead": "bench_obs_overhead",
     "overload": "bench_overload",
     "txn-chaos": "bench_txn_chaos",
+    "reshard": "bench_reshard",
 }
 
 
@@ -331,6 +376,9 @@ def build_parser():
     top.add_argument("--orders", type=int, default=3)
     top.add_argument("--profile", default="K-redis",
                      choices=["K-apiserver", "K-redis", "K-redis-udf"])
+    top.add_argument("--elastic", action="store_true",
+                     help="run on an autoscaled shard fleet (live "
+                          "resharding) and show ring/reshard metrics")
     top.set_defaults(fn=cmd_top)
 
     return parser

@@ -17,12 +17,14 @@ from repro.cluster.registry import BuildResult, ImageRegistry
 from repro.cluster.scheduler import Cluster
 from repro.cluster.rollout import RolloutResult, rolling_update
 from repro.cluster.autoscaler import HorizontalAutoscaler, ScalingEvent
+from repro.cluster.shardfleet import ShardFleet
 
 __all__ = [
     "BuildResult",
     "Cluster",
     "HorizontalAutoscaler",
     "ScalingEvent",
+    "ShardFleet",
     "Deployment",
     "Image",
     "ImageRegistry",

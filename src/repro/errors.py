@@ -45,13 +45,36 @@ class CrossShardTxnError(StoreError):
     ``txn(ops, mode="saga")`` (available, compensates on failure) -- see
     ``docs/transactions.md``.
 
-    ``shard_map`` carries the offending ``key -> shard index`` mapping so
-    callers can co-locate keys or split the batch instead.
+    ``shard_map`` carries the offending ``key -> owner shard`` mapping
+    (shard *locations*, not positional indices, so the report stays
+    meaningful across live resharding) and ``ring_version`` records the
+    ring version the ownership was computed at.
     """
 
-    def __init__(self, message, shard_map=None):
+    def __init__(self, message, shard_map=None, ring_version=None):
         super().__init__(message)
         self.shard_map = dict(shard_map or {})
+        self.ring_version = ring_version
+
+
+class ShardMovedError(StoreError):
+    """The addressed key range is sealed or no longer owned by this shard.
+
+    Raised by the write fence during a live reshard cutover: once a
+    moved range is sealed on its old owner, writes there are rejected
+    until the ring flips and the client re-routes.  Deliberately NOT
+    retryable at the per-shard retry layer -- retrying against the same
+    (old) owner can never succeed; the sharded client catches this and
+    re-resolves ownership against the live ring instead.
+    """
+
+    retryable = False
+
+    def __init__(self, message, key=None, ring_version=None, owner=None):
+        super().__init__(message)
+        self.key = key
+        self.ring_version = ring_version
+        self.owner = owner
 
 
 class UnavailableError(StoreError):

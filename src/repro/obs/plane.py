@@ -125,6 +125,28 @@ class ObsPlane:
                                   "unknown_participants", "recoveries"):
                         reg.counter(f"txn_{field}_total", exchange=name
                                     ).set_total(txn_stats[field])
+                # Elastic topology plane (repro.store.ring/reshard):
+                # ring version, live shard count, write fencing, and
+                # migration volume -- `knactor top` shows a reshard as a
+                # ring_version bump plus a keys_moved jump.
+                ring_version = getattr(backend, "ring_version", None)
+                if ring_version is not None:
+                    reg.gauge("ring_version", exchange=name).set(
+                        ring_version)
+                    reg.gauge("ring_shards", exchange=name).set(
+                        len(backend.shards))
+                    reg.counter("ring_fence_rejections_total",
+                                exchange=name).set_total(
+                                    backend.fence_rejections)
+                    reroutes = sum(c.reroutes
+                                   for c in getattr(backend, "_clients", ()))
+                    reg.counter("ring_reroutes_total", exchange=name
+                                ).set_total(reroutes)
+                    reshard_stats = backend.reshard_stats
+                    for field in ("reshards", "transitions", "keys_moved",
+                                  "ranges_moved", "resyncs"):
+                        reg.counter(f"reshard_{field}_total", exchange=name
+                                    ).set_total(reshard_stats[field])
                 copy_stats = getattr(backend, "copy_stats", None)
                 if copy_stats is not None:
                     reg.counter("copied_bytes_total", exchange=name
@@ -148,6 +170,38 @@ class ObsPlane:
                             ).set_total(stats["opened"])
                 reg.counter("circuit_rejected_total", breaker=label
                             ).set_total(stats["rejected"])
+
+        self.registry.register_collector(collect)
+        return self
+
+    def watch_autoscalers(self, autoscalers):
+        """Scrape :class:`~repro.cluster.HorizontalAutoscaler` activity.
+
+        Every registered autoscaler contributes its scaling-event count,
+        current replica target, and the load it last acted on -- so
+        ``knactor top`` shows elastic topology decisions next to the
+        queue-depth signals that drove them.
+        """
+        autoscalers = list(autoscalers)
+
+        def collect(reg):
+            for scaler in autoscalers:
+                label = scaler.deployment_name
+                reg.counter("autoscale_events_total", deployment=label
+                            ).set_total(len(scaler.events))
+                try:
+                    replicas = len(
+                        scaler.cluster.deployment(label).ready_pods)
+                except Exception:
+                    replicas = 0
+                reg.gauge("autoscale_replicas", deployment=label).set(
+                    replicas)
+                if scaler.events:
+                    last = scaler.events[-1]
+                    reg.gauge("autoscale_last_load", deployment=label).set(
+                        last.load)
+                    reg.gauge("autoscale_last_target", deployment=label
+                              ).set(last.to_replicas)
 
         self.registry.register_collector(collect)
         return self

@@ -42,6 +42,13 @@ from repro.store.cow import (
 from repro.store.apiserver import ApiServer, ApiServerClient
 from repro.store.memkv import MemKV, MemKVClient
 from repro.store.loglake import APPENDED, LogLake, LogLakeClient
+from repro.store.ring import (
+    AutoscalePolicy,
+    ShardRing,
+    Topology,
+    hash_key,
+    key_in_ranges,
+)
 from repro.store.sharded import (
     MergedWatch,
     ShardedStore,
@@ -56,6 +63,7 @@ __all__ = [
     "APPENDED",
     "ApiServer",
     "ApiServerClient",
+    "AutoscalePolicy",
     "CopyMeter",
     "CowList",
     "CowMap",
@@ -70,12 +78,14 @@ __all__ = [
     "OpLatency",
     "RefCountRetention",
     "RetentionPolicy",
+    "ShardRing",
     "ShardedStore",
     "ShardedStoreClient",
     "StoreClient",
     "StoreServer",
     "StoredObject",
     "TTLRetention",
+    "Topology",
     "TxnUDFContext",
     "UDFContext",
     "UDFRegistry",
@@ -84,7 +94,9 @@ __all__ = [
     "diff_shared",
     "estimate_size",
     "freeze",
+    "hash_key",
     "is_frozen",
+    "key_in_ranges",
     "mask_shared",
     "merge_shared",
     "shard_index",

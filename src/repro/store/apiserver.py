@@ -56,6 +56,9 @@ DEFAULT_OPS = {
     "txn_commit": OpLatency(base=0.0065),
     "txn_abort": OpLatency(base=0.0040),
     "txn_status": OpLatency(base=0.0015),
+    # Live-reshard migration plane: bulk state transfer between shards.
+    "export": OpLatency(base=0.0030, per_byte=1e-9),
+    "ingest": OpLatency(base=0.0080, per_byte=4e-9),
 }
 
 
@@ -66,6 +69,21 @@ class _WalRecord:
     time: float
     event: object  # the committed WatchEvent
     labels: dict
+
+
+@dataclass(frozen=True)
+class _IngestWalMarker:
+    """A migration ingest, durable alongside commits.
+
+    Carries the ingested entries (full objects, labels included) and the
+    removed keys so a restart rebuilds exactly what the quiet data plane
+    installed -- crucially WITHOUT minting watch history: ingests never
+    notified anyone, so replay must not either.
+    """
+
+    time: float
+    entries: tuple = ()
+    remove: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -190,6 +208,17 @@ class ApiServer(ObjectOpsMixin, StoreServer):
     def wal_length(self):
         return len(self._wal)
 
+    def _persist_ingest(self, entries, remove):
+        marker = _IngestWalMarker(
+            self.env.now,
+            tuple(copy.deepcopy(entry) for entry in entries),
+            tuple(remove or ()),
+        )
+        self.wal_bytes += 32 + sum(
+            32 + len(entry["key"]) for entry in marker.entries
+        )
+        self._wal.append(marker)
+
     def _persist_txn_marker(self, kind, txn_id, ops=None):
         marker = _TxnWalMarker(
             self.env.now, kind, txn_id,
@@ -221,6 +250,24 @@ class ApiServer(ObjectOpsMixin, StoreServer):
         for record in self._wal:
             if isinstance(record, _TxnWalMarker):
                 self._replay_txn_marker(record)
+                continue
+            if isinstance(record, _IngestWalMarker):
+                # Quiet re-ingest: rebuild state, mint no history.
+                for entry in record.entries:
+                    created_at.setdefault(entry["key"], entry["created_at"])
+                    self._objects[entry["key"]] = StoredObject(
+                        key=entry["key"],
+                        data=(freeze(entry["data"]) if self.zero_copy
+                              else copy.deepcopy(entry["data"])),
+                        revision=entry["revision"],
+                        created_at=entry["created_at"],
+                        updated_at=entry["updated_at"],
+                        labels=dict(entry.get("labels") or {}),
+                    )
+                    self.revision = max(self.revision, entry["revision"])
+                for key in record.remove:
+                    self._objects.pop(key, None)
+                    created_at.pop(key, None)
                 continue
             event = record.event
             if event.type == DELETED:

@@ -39,7 +39,12 @@ both the server (``watch_wire_bytes``) and the network links.
 import copy
 from dataclasses import dataclass, field
 
-from repro.errors import OverloadedError, StoreError, UnavailableError
+from repro.errors import (
+    OverloadedError,
+    ShardMovedError,
+    StoreError,
+    UnavailableError,
+)
 from repro.flow.policy import (
     BLOCK,
     REJECT,
@@ -486,6 +491,16 @@ class Watch:
         timer.callbacks.append(lambda _evt: self.on_close())
 
 
+#: Operations the reshard write fence applies to: everything that can
+#: mutate object state.  Reads stay open on the old owner until the
+#: ring flips (the sealed range's state is frozen, so they are
+#: consistent), which keeps the cutover invisible to readers.
+_FENCED_OPS = frozenset({
+    "create", "update", "patch", "delete",
+    "txn", "txn_prepare", "command", "fcall", "fcall_txn",
+})
+
+
 class StoreServer:
     """Base class for backend servers.
 
@@ -558,6 +573,14 @@ class StoreServer:
         # Availability / failure state (see repro.faults).
         self.available = True
         self._epoch = 0  # bumped on failover/crash; queued ops abort
+        # Live-reshard write fence (repro.store.reshard): while a ring
+        # range is sealed here, mutations addressing it are rejected
+        # with ShardMovedError until the ring flips and clients
+        # re-resolve ownership.
+        self._sealed_ranges = []
+        self._sealed_version = None
+        self.fence_rejections = 0
+        self._ring_context = None  # owning ShardedStore, for error notes
         # Processes currently holding a worker slot.  A list, not a set:
         # abort order must be deterministic across runs.
         self._executing = []
@@ -605,6 +628,36 @@ class StoreServer:
                 return _Failure(UnavailableError(
                     f"store {self.location!r} is unavailable"
                 ))
+            if op in _FENCED_OPS:
+                if self._sealed_ranges:
+                    fenced = self._fenced_key(args)
+                    if fenced is not None:
+                        self.fence_rejections += 1
+                        return _Failure(ShardMovedError(
+                            f"store {self.location!r}: key {fenced!r} is in "
+                            f"a range sealed for migration (ring "
+                            f"v{self._sealed_version} pending); re-resolve "
+                            "ownership and retry",
+                            key=fenced, ring_version=self._sealed_version,
+                        ))
+                # Ownership fence: a write that sat in the worker queue
+                # across a ring flip (or reached a retired shard) must
+                # not commit here -- the key's state now lives with the
+                # new owner, and a late commit on the old one would be
+                # acked and watched but absent from the authoritative
+                # copy (a lost write).
+                stray = self._stray_key(args)
+                if stray is not None:
+                    self.fence_rejections += 1
+                    ring = self._ring_context.ring
+                    return _Failure(ShardMovedError(
+                        f"store {self.location!r}: key {stray!r} moved to "
+                        f"{self._ring_context.owner_location(stray)!r} "
+                        f"(ring v{ring.version}); re-resolve ownership "
+                        "and retry",
+                        key=stray, ring_version=ring.version,
+                        owner=self._ring_context.owner_location(stray),
+                    ))
             method = getattr(self, f"op_{op}", None)
             if method is None:
                 raise StoreError(f"{type(self).__name__} has no operation {op!r}")
@@ -796,6 +849,85 @@ class StoreServer:
     def next_revision(self):
         self.revision += 1
         return self.revision
+
+    # -- reshard write fence (see repro.store.reshard) ---------------------
+
+    def seal_ranges(self, ranges, ring_version=None):
+        """Fence mutations addressing ring ``ranges`` on this shard.
+
+        Called by the reshard engine once a moved range's state has been
+        copied: from here until :meth:`clear_sealed_ranges`, writes into
+        the range fail fast with :class:`~repro.errors.ShardMovedError`
+        (non-retryable at the per-shard layer; the sharded client
+        re-routes against the live ring instead).
+        """
+        self._sealed_ranges = list(ranges)
+        self._sealed_version = ring_version
+
+    def clear_sealed_ranges(self):
+        self._sealed_ranges = []
+        self._sealed_version = None
+
+    def _fenced_key(self, args):
+        """First key in ``args`` that lands in a sealed range, if any."""
+        from repro.store.ring import key_in_ranges
+
+        key = args.get("key")
+        if isinstance(key, str) and key_in_ranges(key, self._sealed_ranges):
+            return key
+        ops = args.get("ops")
+        if isinstance(ops, list):
+            for entry in ops:
+                k = entry.get("key") if isinstance(entry, dict) else None
+                if isinstance(k, str) and key_in_ranges(
+                    k, self._sealed_ranges
+                ):
+                    return k
+        return None
+
+    def _stray_key(self, args):
+        """First key in ``args`` this server no longer owns, if any.
+
+        Only meaningful for shards routed by a live ring
+        (``_ring_context``); standalone servers own every key.
+        """
+        ctx = self._ring_context
+        if ctx is None:
+            return None
+
+        def owned(key):
+            try:
+                return ctx.shard_for(key) is self
+            except Exception:
+                return True  # ring in transit: let the seal fence decide
+
+        key = args.get("key")
+        if isinstance(key, str) and not owned(key):
+            return key
+        ops = args.get("ops")
+        if isinstance(ops, list):
+            for entry in ops:
+                k = entry.get("key") if isinstance(entry, dict) else None
+                if isinstance(k, str) and not owned(k):
+                    return k
+        return None
+
+    def _ownership_note(self, key):
+        """`` [key -> owner shard @ ring vN]`` when part of a ring, else ``""``.
+
+        Appended to conflict messages so errors name the authoritative
+        owner *location* (stable across resharding) instead of a raw
+        shard index that the next topology change would invalidate.
+        """
+        store = self._ring_context
+        if store is None:
+            return ""
+        try:
+            location = store.owner_location(key)
+            version = store.ring.version
+        except Exception:
+            return ""
+        return f" [key {key!r} -> shard {location!r} @ ring v{version}]"
 
     # -- cross-shard transaction surface (see repro.txn) ---------------------
 

@@ -43,6 +43,9 @@ DEFAULT_OPS = {
     "txn_commit": OpLatency(base=0.00040),
     "txn_abort": OpLatency(base=0.00020),
     "txn_status": OpLatency(base=0.00015),
+    # Live-reshard migration plane: bulk state transfer between shards.
+    "export": OpLatency(base=0.00060, per_byte=0.5e-9),
+    "ingest": OpLatency(base=0.00060, per_byte=1.5e-9),
 }
 
 

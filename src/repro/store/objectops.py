@@ -174,6 +174,7 @@ class ObjectOpsMixin:
                     raise ConflictError(
                         f"txn op {index}: object {key!r} changed "
                         f"(expected revision {expected}, {actual})"
+                        + self._ownership_note(key)
                     )
                 if action == "delete":
                     del shadow[key]
@@ -195,6 +196,86 @@ class ObjectOpsMixin:
             else:
                 views.append(self.op_delete(op["key"]))
         return views
+
+    # -- migration data plane (see repro.store.reshard) ------------------------
+
+    def op_export(self, ranges=None):
+        """Full-fidelity snapshot of objects whose keys hash into ``ranges``.
+
+        Unlike ``op_list`` views, entries carry labels and exact
+        timestamps so an ingest on the destination reconstructs the
+        object bit-for-bit.  ``ranges=None`` exports everything.
+        """
+        from repro.store.ring import key_in_ranges
+
+        entries = []
+        for key, obj in sorted(self._objects.items()):
+            if ranges is not None and not key_in_ranges(key, ranges):
+                continue
+            entries.append({
+                "key": key,
+                "data": self._snapshot(obj),
+                "revision": obj.revision,
+                "created_at": obj.created_at,
+                "updated_at": obj.updated_at,
+                "labels": dict(obj.labels),
+            })
+        return {"entries": entries, "revision": self.revision}
+
+    def op_ingest(self, entries, revision_floor=0, remove=None,
+                  authoritative=False):
+        """Quietly install migrated objects: no watch events, no new
+        revisions.
+
+        The reshard engine's catch-up watch already carries the *events*
+        for moved keys; ingest only installs the *state*, keeping source
+        revisions so observers see one consistent revision order across
+        the handoff.  An entry older than what is already present is
+        dropped (the catch-up watch won the race) unless
+        ``authoritative`` -- the final reconcile pass -- where
+        equal-revision entries also apply (restoring labels the watch
+        protocol does not carry).  ``revision_floor`` (plus every ingested
+        revision) floors this store's revision counter so post-migration
+        commits stay monotonic across the whole keyspace.
+        """
+        applied = []
+        floor = revision_floor
+        for entry in entries:
+            floor = max(floor, entry["revision"])
+            existing = self._objects.get(entry["key"])
+            if existing is not None:
+                if authoritative:
+                    if existing.revision > entry["revision"]:
+                        continue
+                elif existing.revision >= entry["revision"]:
+                    continue
+            self._objects[entry["key"]] = StoredObject(
+                key=entry["key"],
+                data=self._ingest(entry["data"]),
+                revision=entry["revision"],
+                created_at=entry["created_at"],
+                updated_at=entry["updated_at"],
+                labels=dict(entry.get("labels") or {}),
+            )
+            applied.append(entry)
+        removed = 0
+        for key in remove or ():
+            if self._objects.pop(key, None) is not None:
+                removed += 1
+        self.revision = max(self.revision, floor)
+        # Durability records what actually landed, so a WAL replay makes
+        # the same keep/drop decisions the live ingest did.
+        self._persist_ingest(applied, remove)
+        if self.tracer is not None:
+            self.tracer.record(
+                "store", "ingest", location=self.location,
+                applied=len(applied), removed=removed,
+            )
+        return {"applied": len(applied), "removed": removed,
+                "revision": self.revision}
+
+    def _persist_ingest(self, entries, remove):
+        """Hook: durable backends write ingested state to their WAL."""
 
     # -- two-phase-commit participant surface (see repro.txn) -----------------
 
@@ -312,6 +393,7 @@ class ObjectOpsMixin:
             raise ConflictError(
                 f"object {key!r} changed: expected revision "
                 f"{resource_version}, is {obj.revision}"
+                + self._ownership_note(key)
             )
         return obj
 

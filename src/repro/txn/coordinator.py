@@ -41,6 +41,7 @@ from repro.errors import (
     ConfigurationError,
     DeadlineExceededError,
     NotFoundError,
+    ShardMovedError,
     StoreError,
     UnavailableError,
 )
@@ -94,19 +95,17 @@ class TxnCoordinator:
 
     def __init__(self, store, location=None, tracer=None, seed=0,
                  max_attempts=200):
-        from repro.store.base import StoreClient
-        from repro.store.sharded import _SHARD_CLIENTS
-
         self.store = store
         self.env = store.env
         self.location = location or f"{store.name}-txncoord"
         self.tracer = tracer
         self.max_attempts = max_attempts
         self._rng = random.Random(seed)
-        self.clients = [
-            _SHARD_CLIENTS.get(type(shard), StoreClient)(shard, self.location)
-            for shard in store.shards
-        ]
+        # Per-shard clients, minted on demand: the shard set is live
+        # (resharding adds and retires members), so clients key off the
+        # shard server, not a positional index.
+        self._clients = {}
+        self.ring_regroups = 0  # prepare rounds restarted by a ring flip
         # -- durable state (the coordinator's "disk"): survives kill() --
         self._log = {}  # txn_id -> record dict
         self._order = []  # txn ids in admission order
@@ -286,8 +285,8 @@ class TxnCoordinator:
             "views": None,
             "error": None,
             "idempotence_key": idempotence_key,
-            "pre_images": {},  # saga: shard index -> {key: view | None}
-            "applied": [],  # saga: shard indexes applied, in order
+            "pre_images": {},  # saga: object key -> pre-image view | None
+            "applied": [],  # saga: ring members applied, in order
         }
         self._log[txn_id] = record
         self._order.append(txn_id)
@@ -356,56 +355,120 @@ class TxnCoordinator:
         return views
 
     def _groups(self, ops):
-        """Deterministic shard grouping: sorted shard index -> sub-batch."""
-        from repro.store.sharded import shard_index
+        """Deterministic shard grouping: sorted ring member -> sub-batch.
 
+        Groups key off stable ring member ids (the live ring's ownership
+        at call time), not positional indices -- a reshard between
+        grouping and recovery still resolves the same participants.
+        """
+        ring = self.store.ring
         groups = {}
         for op in ops:
-            idx = shard_index(str(op.get("key") or ""), len(self.clients))
-            groups.setdefault(idx, []).append(op)
-        return [(idx, groups[idx]) for idx in sorted(groups)]
+            member = ring.owner_of(str(op.get("key") or ""))
+            groups.setdefault(member, []).append(op)
+        return [(member, groups[member]) for member in sorted(groups)]
+
+    def _client_for_shard(self, member, sub=None):
+        """Typed client for ring ``member``; falls back to the current
+        owner of the sub-batch's first key when the member has retired
+        (its prepared state, if any, answers ``"unknown"`` harmlessly).
+        """
+        from repro.store.sharded import _shard_client
+
+        store = self.store
+        if member in store.shard_ids:
+            shard = store.shard_by_id(member)
+        else:
+            key = str(sub[0].get("key") or "") if sub else ""
+            shard = store.shard_for(key)
+        client = self._clients.get(shard)
+        if client is None:
+            client = self._clients[shard] = _shard_client(
+                shard, self.location
+            )
+        return client
 
     # -- 2PC -----------------------------------------------------------------
 
+    #: Prepare rounds a 2PC retries when the ring flips under it before
+    #: surfacing a retryable error.  Two covers one full reshard step.
+    RING_REGROUP_ATTEMPTS = 8
+
     def _run_2pc(self, txn_id, record, ctx):
-        groups = self._groups(record["ops"])
-        # Phase 1: prepare every participant, in shard order.
-        self._maybe_phase_kill("prepare")
-        span = self._start_span("txn-prepare", ctx, txn=txn_id,
-                                participants=len(groups))
-        try:
-            for idx, sub in groups:
-                yield from self._call(
-                    lambda: self.clients[idx].txn_prepare(txn_id, sub)
-                )
-        except (UnavailableError, DeadlineExceededError):
-            # Could not reach a participant at all: presumed abort.
-            self._end_span(span, outcome="unreachable")
-            yield from self._drive_aborts(txn_id, record, groups, ctx)
-            raise
-        except StoreError as exc:
-            # Validation failed on some shard: abort the others.
-            self._end_span(span, outcome=type(exc).__name__)
-            yield from self._drive_aborts(txn_id, record, groups, ctx)
-            raise
-        self._end_span(span, outcome="ok")
-        self.prepared_total += len(groups)
-        # The commit point: one durable append to the decision log.
-        record["state"] = "commit"
-        if ctx is not None:
-            ctx.sink.annotate(ctx, "decision", decision="commit")
-        self._maybe_phase_kill("commit")
-        # Phase 2: drive every participant commit (idempotent; retried
-        # through unavailability until it lands).
-        views = yield from self._drive_commits(txn_id, record, groups, ctx)
-        return views
+        # Ring-version fencing: the shard grouping is only valid at the
+        # ring version it was computed against.  A prepare that lands on
+        # a sealed range (ShardMovedError) means the batch raced a
+        # reshard cutover -- undo this round's prepares under the
+        # round-scoped wire id, re-group against the live ring, and try
+        # again with a fresh wire id (participants have already recorded
+        # a terminal "aborted" outcome for the old one).
+        for regroup in range(self.RING_REGROUP_ATTEMPTS):
+            record["wire_id"] = txn_id if regroup == 0 else (
+                f"{txn_id}.r{regroup}"
+            )
+            record["ring_version"] = self.store.ring.version
+            groups = self._groups(record["ops"])
+            record["groups"] = groups  # durable: recovery re-targets these
+            # Phase 1: prepare every participant, in shard order.
+            self._maybe_phase_kill("prepare")
+            span = self._start_span("txn-prepare", ctx, txn=txn_id,
+                                    participants=len(groups),
+                                    ring_version=record["ring_version"])
+            try:
+                for member, sub in groups:
+                    yield from self._call(
+                        lambda: self._client_for_shard(member, sub)
+                        .txn_prepare(record["wire_id"], sub)
+                    )
+            except ShardMovedError:
+                self._end_span(span, outcome="ring-moved")
+                self.ring_regroups += 1
+                yield from self._drive_aborts(txn_id, record, groups, ctx,
+                                              terminal=False)
+                # Growing backoff: later rounds must outlast a full
+                # cutover seal window (drain + reconcile), not just the
+                # instant of the flip.
+                yield self.env.timeout(0.01 * (regroup + 1))
+                continue
+            except (UnavailableError, DeadlineExceededError):
+                # Could not reach a participant at all: presumed abort.
+                self._end_span(span, outcome="unreachable")
+                yield from self._drive_aborts(txn_id, record, groups, ctx)
+                raise
+            except StoreError as exc:
+                # Validation failed on some shard: abort the others.
+                self._end_span(span, outcome=type(exc).__name__)
+                yield from self._drive_aborts(txn_id, record, groups, ctx)
+                raise
+            self._end_span(span, outcome="ok")
+            self.prepared_total += len(groups)
+            # The commit point: one durable append to the decision log.
+            record["state"] = "commit"
+            if ctx is not None:
+                ctx.sink.annotate(ctx, "decision", decision="commit")
+            self._maybe_phase_kill("commit")
+            # Phase 2: drive every participant commit (idempotent;
+            # retried through unavailability until it lands).
+            views = yield from self._drive_commits(txn_id, record, groups,
+                                                   ctx)
+            return views
+        # The ring kept moving for longer than any single reshard step
+        # can take: give up retryably with nothing applied.
+        yield from self._drive_aborts(txn_id, record,
+                                      self._groups(record["ops"]), ctx)
+        raise UnavailableError(
+            f"txn {txn_id}: ring membership kept changing during prepare "
+            f"({self.RING_REGROUP_ATTEMPTS} rounds); retry"
+        )
 
     def _drive_commits(self, txn_id, record, groups, ctx):
         span = self._start_span("txn-commit", ctx, txn=txn_id)
+        wire_id = record.get("wire_id") or txn_id
         views = []
-        for idx, _sub in groups:
+        for member, sub in groups:
             reply = yield from self._call(
-                lambda: self.clients[idx].txn_commit(txn_id)
+                lambda: self._client_for_shard(member, sub)
+                .txn_commit(wire_id)
             )
             if reply["state"] == "unknown":
                 # The participant lost its prepared state (non-durable
@@ -421,59 +484,81 @@ class TxnCoordinator:
         self._end_span(span, outcome="ok")
         return views
 
-    def _drive_aborts(self, txn_id, record, groups, ctx):
+    def _drive_aborts(self, txn_id, record, groups, ctx, terminal=True):
+        """Abort ``groups``; ``terminal=False`` is the ring-regroup
+        path, which clears this round's prepares without recording a
+        transaction-level abort (a fresh round follows)."""
         record["state"] = "aborting"
         self._maybe_phase_kill("abort")
         span = self._start_span("txn-abort", ctx, txn=txn_id)
-        for idx, _sub in groups:
+        wire_id = record.get("wire_id") or txn_id
+        for member, sub in groups:
             yield from self._call(
-                lambda: self.clients[idx].txn_abort(txn_id)
+                lambda: self._client_for_shard(member, sub)
+                .txn_abort(wire_id)
             )
-        record["state"] = "aborted"
-        self.aborted_total += 1
-        self._release_idem(record)
+        if terminal:
+            record["state"] = "aborted"
+            self.aborted_total += 1
+            self._release_idem(record)
+        else:
+            record["state"] = "preparing"
         self._end_span(span, outcome="ok")
 
     # -- saga ----------------------------------------------------------------
 
     def _run_saga(self, txn_id, record, ctx):
         groups = self._groups(record["ops"])
+        record["groups"] = groups  # durable: compensation re-targets these
+        record["ring_version"] = self.store.ring.version
         views = []
         try:
-            for idx, sub in groups:
+            for member, sub in groups:
                 # Capture pre-images first: compensation must know what
                 # to restore, and must know it durably (the record is
                 # the coordinator's disk) before the step applies.
-                pre = {}
+                # Keyed by object key, not participant: the compensating
+                # write routes to whoever owns the key at rollback time.
                 for op in sub:
                     key = op["key"]
-                    if key in pre:
+                    if key in record["pre_images"]:
                         continue
                     try:
                         view = yield from self._call(
-                            lambda: self.clients[idx].get(key)
+                            lambda: self._client_for_shard(member, sub)
+                            .get(key)
                         )
-                        pre[key] = view
+                        record["pre_images"][key] = view
                     except NotFoundError:
-                        pre[key] = None
-                record["pre_images"][idx] = pre
+                        record["pre_images"][key] = None
                 # Each step is a single-shard mini-2PC: prepare+commit
                 # gives the participant a durable, idempotent outcome,
                 # so a replayed step never double-applies.
-                step_id = f"{txn_id}.s{idx}"
+                step_id = f"{txn_id}.s{member}"
                 self._maybe_phase_kill("prepare")
                 yield from self._call(
-                    lambda: self.clients[idx].txn_prepare(step_id, sub)
+                    lambda: self._client_for_shard(member, sub)
+                    .txn_prepare(step_id, sub)
                 )
                 self._maybe_phase_kill("commit")
                 reply = yield from self._call(
-                    lambda: self.clients[idx].txn_commit(step_id)
+                    lambda: self._client_for_shard(member, sub)
+                    .txn_commit(step_id)
                 )
-                record["applied"].append(idx)
+                record["applied"].append(member)
                 if ctx is not None:
-                    ctx.sink.annotate(ctx, "saga-step", shard=idx)
+                    ctx.sink.annotate(ctx, "saga-step", shard=member)
                 if reply.get("views"):
                     views.extend(reply["views"])
+        except ShardMovedError:
+            # The ring flipped mid-saga: roll back what applied and
+            # surface retryably -- the retry re-groups on the live ring.
+            self.ring_regroups += 1
+            yield from self._compensate(txn_id, record, ctx)
+            raise UnavailableError(
+                f"txn {txn_id}: ring membership changed during saga; "
+                "retry with the same idempotence key"
+            ) from None
         except (UnavailableError, DeadlineExceededError):
             yield from self._compensate(txn_id, record, ctx)
             raise
@@ -491,40 +576,45 @@ class TxnCoordinator:
         self._maybe_phase_kill("compensate")
         span = self._start_span("txn-compensate", ctx, txn=txn_id,
                                 steps=len(record["applied"]))
-        groups = dict(self._groups(record["ops"]))
+        # Roll back against the grouping the saga ACTUALLY ran with (it
+        # is durable in the record): recomputing from the live ring
+        # would mis-target participants if a reshard landed in between.
+        groups = dict(record.get("groups") or self._groups(record["ops"]))
         # A step prepared but never committed (killed between the two)
         # is in-doubt on its shard: abort it so the locks drain.  No-op
         # ("unknown") on shards the saga never reached.  One twist: the
         # participant may have COMMITTED the step but the coordinator
         # died before the reply landed -- the abort then answers
         # "committed", and the step must join the rollback set.
-        for idx in sorted(groups):
-            if idx not in record["applied"]:
+        for member in sorted(groups):
+            if member not in record["applied"]:
                 reply = yield from self._call(
-                    lambda: self.clients[idx].txn_abort(f"{txn_id}.s{idx}")
+                    lambda: self._client_for_shard(member, groups[member])
+                    .txn_abort(f"{txn_id}.s{member}")
                 )
                 if reply["state"] == "committed":
-                    record["applied"].append(idx)
-        for idx in reversed(record["applied"]):
-            sub = groups[idx]
-            pre = record["pre_images"].get(idx, {})
+                    record["applied"].append(member)
+        for member in reversed(record["applied"]):
+            sub = groups[member]
             comp_ops = []
             for op in reversed(sub):
                 fn = self._compensations.get(op["action"],
                                              _default_compensation)
-                inverse = fn(op, pre.get(op["key"]))
+                inverse = fn(op, record["pre_images"].get(op["key"]))
                 if inverse is not None:
                     comp_ops.append(inverse)
             if not comp_ops:
                 continue
             # Compensations are themselves mini-2PC steps: idempotent
             # under recovery replay.
-            comp_id = f"{txn_id}.c{idx}"
+            comp_id = f"{txn_id}.c{member}"
             yield from self._call(
-                lambda: self.clients[idx].txn_prepare(comp_id, comp_ops)
+                lambda: self._client_for_shard(member, sub)
+                .txn_prepare(comp_id, comp_ops)
             )
             yield from self._call(
-                lambda: self.clients[idx].txn_commit(comp_id)
+                lambda: self._client_for_shard(member, sub)
+                .txn_commit(comp_id)
             )
             self.compensations_total += 1
         record["state"] = "compensated"
@@ -552,7 +642,7 @@ class TxnCoordinator:
             if state in ("committed", "aborted", "compensated"):
                 continue
             resolved += 1
-            groups = self._groups(record["ops"])
+            groups = record.get("groups") or self._groups(record["ops"])
             try:
                 if record["mode"] == "2pc":
                     if state == "commit":

@@ -28,7 +28,7 @@ from repro.errors import (
 )
 from repro.faults import FaultInjector, FaultPlan
 from repro.simnet import Environment, FixedLatency, Network
-from repro.store import ApiServer, ShardedStore, ShardedStoreClient, shard_index
+from repro.store import ApiServer, ShardRing, ShardedStore, ShardedStoreClient
 from repro.txn.coordinator import PHASES
 
 N_SHARDS = 3
@@ -58,7 +58,7 @@ def workload(seed):
         while len(keys) < want or len(covered) < 2:
             key = f"s{seed}-t{t}-k{i}"
             i += 1
-            idx = shard_index(key, N_SHARDS)
+            idx = ShardRing.for_count(N_SHARDS).owner_index(key)
             if len(keys) < want or idx not in covered:
                 keys.append(key)
                 covered.add(idx)

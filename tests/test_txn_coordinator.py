@@ -18,7 +18,7 @@ from repro.store import (
     MemKVClient,
     ShardedStore,
     ShardedStoreClient,
-    shard_index,
+    ShardRing,
 )
 from repro.txn import TxnCoordinator, TxnFunctionIntegrator
 
@@ -37,7 +37,7 @@ def keys_on_shards(n, count_per_shard=2, tag="k"):
     i = 0
     while any(len(v) < count_per_shard for v in found.values()):
         key = f"{tag}-{i}"
-        idx = shard_index(key, n)
+        idx = ShardRing.for_count(n).owner_index(key)
         if len(found[idx]) < count_per_shard:
             found[idx].append(key)
         i += 1
