@@ -12,13 +12,13 @@ from dataclasses import dataclass, field, replace
 from repro import config
 from repro.apps.retail import knactors as recs
 from repro.apps.retail.schemas import ALL_SCHEMAS
-from repro.core import Cast, Knactor, KnactorRuntime, StoreBinding
+from repro.core import Cast, Knactor, KnactorRuntime, StoreBinding, create_environment
 from repro.core.optimizer import K_APISERVER, OptimizationProfile
 from repro.errors import ConfigurationError
 from repro.exchange import ObjectDE
 from repro.flow import INTEGRATOR, FlowConfig
 from repro.obs.context import use
-from repro.simnet import Environment, Network, Tracer
+from repro.simnet import Environment, FixedLatency, Network, Tracer
 from repro.store import ApiServer, MemKV, ShardedStore
 from repro.store.ring import coerce_shards_knob
 
@@ -96,7 +96,8 @@ class RetailKnactorApp:
     def build(cls, env=None, profile=K_APISERVER, seed=7, with_notify=True,
               dxg=None, retry_policy=None, shards=1, topology=None,
               watch_batch_window=0.0,
-              zero_copy=True, delta_watch=False, obs=None, flow=None):
+              zero_copy=True, delta_watch=False, obs=None, flow=None,
+              mode=None, shape_latency=None):
         """Construct the full app under an optimization profile.
 
         ``dxg`` overrides the main integrator's spec (the Table 2 bench
@@ -121,15 +122,28 @@ class RetailKnactorApp:
         plane end to end: credit windows on every watch the exchange
         mints, bounded reconciler work queues, and token-bucket + AIMD
         admission control at the store front door with the integrator
-        casts in the high-priority class.
+        casts in the high-priority class.  ``mode`` selects the
+        execution backend when no ``env`` is given (``"sim"`` default,
+        ``"realtime"`` for wall-clock execution); ``shape_latency``
+        keeps (True) or zeroes (False) the *simulated* infrastructure
+        latencies -- network hops, store-op costs, watch overhead -- and
+        defaults to True on the sim backend and False on realtime,
+        where the wall clock itself provides the time.  App-semantic
+        service times (the FedEx carrier call) are kept either way.
         """
-        env = env if env is not None else Environment()
+        if env is None:
+            env = create_environment(mode if mode is not None else "sim")
+        if shape_latency is None:
+            shape_latency = getattr(env, "backend", "sim") == "sim"
         flow_cfg = None
         if flow:
             flow_cfg = flow if isinstance(flow, FlowConfig) else FlowConfig()
-        network = Network(env, default_latency=config.NETWORK_HOP)
+        hop = config.NETWORK_HOP if shape_latency else FixedLatency(0.0)
+        network = Network(env, default_latency=hop)
         tracer = Tracer(env)
-        runtime = KnactorRuntime(env, network=network, tracer=tracer, obs=obs)
+        runtime = KnactorRuntime(
+            env, network=network, tracer=tracer, obs=obs, mode=mode
+        )
 
         if profile.backend == "apiserver":
             calibration = config.APISERVER
@@ -139,6 +153,8 @@ class RetailKnactorApp:
             server_cls = MemKV
         else:
             raise ConfigurationError(f"unknown backend {profile.backend!r}")
+        if not shape_latency:
+            calibration = config.zero_calibration(calibration)
 
         def make_backend(location):
             return server_cls(

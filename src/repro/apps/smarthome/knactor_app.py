@@ -29,9 +29,10 @@ from repro.core import (
     RollupRule,
     StoreBinding,
     Sync,
+    create_environment,
 )
 from repro.exchange import LogDE, ObjectDE
-from repro.simnet import Environment, Network, Tracer
+from repro.simnet import Environment, FixedLatency, Network, Tracer
 from repro.store import ApiServer, LogLake
 
 CONTROL_DXG = """\
@@ -62,14 +63,28 @@ class SmartHomeKnactorApp:
     processes: list = field(default_factory=list)
 
     @classmethod
-    def build(cls, env=None, trace=None):
-        env = env if env is not None else Environment()
-        network = Network(env, default_latency=config.NETWORK_HOP)
+    def build(cls, env=None, trace=None, mode=None, shape_latency=None):
+        """``mode`` / ``shape_latency`` as in ``RetailKnactorApp.build``:
+        select the execution backend and keep/zero the simulated
+        infrastructure latencies (defaults: shaped on sim, unshaped on
+        realtime).  Device schedules (motion trace, lamp energy ticks)
+        live on the schedule clock either way."""
+        if env is None:
+            env = create_environment(mode if mode is not None else "sim")
+        if shape_latency is None:
+            shape_latency = getattr(env, "backend", "sim") == "sim"
+        hop = config.NETWORK_HOP if shape_latency else FixedLatency(0.0)
+        ops = config.MEMKV.ops if shape_latency else config.zero_calibration(
+            config.MEMKV).ops
+        network = Network(env, default_latency=hop)
         tracer = Tracer(env)
-        runtime = KnactorRuntime(env, network=network, tracer=tracer)
+        runtime = KnactorRuntime(
+            env, network=network, tracer=tracer, mode=mode
+        )
         object_backend = ApiServer(
             env, network, location="object-backend",
-            ops=config.MEMKV.ops, watch_overhead=0.0005, tracer=tracer,
+            ops=ops, watch_overhead=0.0005 if shape_latency else 0.0,
+            tracer=tracer,
         )
         object_de = ObjectDE(env, object_backend)
         log_de = LogDE(

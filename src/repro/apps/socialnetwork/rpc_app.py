@@ -14,8 +14,9 @@ from repro.apps.socialnetwork.services import (
     SERVICE_METHODS,
     build_idls,
 )
+from repro.core import create_environment
 from repro.rpc import RPCChannel, RPCServer
-from repro.simnet import Environment, Network
+from repro.simnet import Environment, FixedLatency, Network
 
 
 @dataclass
@@ -27,9 +28,14 @@ class SocialNetworkRpcApp:
     calls_traced: list = field(default_factory=list)
 
     @classmethod
-    def build(cls, env=None):
-        env = env if env is not None else Environment()
-        network = Network(env, default_latency=config.NETWORK_HOP)
+    def build(cls, env=None, mode=None, shape_latency=None):
+        """``mode`` / ``shape_latency`` as in ``RetailKnactorApp.build``."""
+        if env is None:
+            env = create_environment(mode if mode is not None else "sim")
+        if shape_latency is None:
+            shape_latency = getattr(env, "backend", "sim") == "sim"
+        hop = config.NETWORK_HOP if shape_latency else FixedLatency(0.0)
+        network = Network(env, default_latency=hop)
         idls = build_idls()
         servers = {}
         app = cls(env=env, network=network, servers=servers)

@@ -8,8 +8,9 @@ Subcommands:
 - ``knactor table1``                  -- regenerate Table 1,
 - ``knactor table2 [--orders N]``     -- regenerate Table 2,
 - ``knactor analyze FILE``            -- statically analyze a DXG file,
-- ``knactor bench shard-scaling|zero-copy|obs-overhead|overload|txn-chaos``
-  -- run a benchmark,
+- ``knactor bench shard-scaling|zero-copy|...|realtime`` -- run a benchmark,
+- ``knactor serve retail --realtime [--port N]`` -- serve the retail app
+  over a real TCP socket on the wall-clock backend,
 - ``knactor trace export FILE``       -- Chrome trace-event JSON of a run,
 - ``knactor trace request KEY``       -- one order's causal DAG + critical path,
 - ``knactor top``                     -- text dashboard of every metric,
@@ -256,7 +257,41 @@ BENCHMARKS = {
     "overload": "bench_overload",
     "txn-chaos": "bench_txn_chaos",
     "reshard": "bench_reshard",
+    "realtime": "bench_realtime",
 }
+
+
+def cmd_serve(args):
+    if args.app != "retail":
+        print(f"error: no server for app {args.app!r}", file=sys.stderr)
+        return 1
+    if not args.realtime:
+        print(
+            "error: serving a real socket needs the wall-clock backend; "
+            "pass --realtime",
+            file=sys.stderr,
+        )
+        return 1
+    from repro.apps.retail.rest_gateway import serve_retail
+    from repro.core.optimizer import PROFILES
+
+    app, _gateway, listener = serve_retail(
+        host=args.host, port=args.port,
+        profile=PROFILES[args.profile], shards=args.shards,
+    )
+    print(f"retail gateway listening on {listener.address} "
+          f"(backend=realtime, shards={args.shards})")
+    print("  POST /orders, GET /orders/{key}, GET /healthz, GET /metrics")
+    print("Ctrl-C to stop.")
+    try:
+        app.env.run()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        listener.stop()
+        print(f"served {listener.connections_accepted} connection(s), "
+              f"{len(app.orders_placed)} order(s) placed")
+    return 0
 
 
 def cmd_bench(args):
@@ -346,6 +381,22 @@ def build_parser():
     bench.add_argument("--out", default=None,
                        help="output JSON path (default: repo root)")
     bench.set_defaults(fn=cmd_bench)
+
+    serve = sub.add_parser(
+        "serve", help="serve an app over a real TCP socket (realtime)"
+    )
+    serve.add_argument("app", choices=["retail"])
+    serve.add_argument("--realtime", action="store_true",
+                       help="run on the wall-clock asyncio backend "
+                            "(required: sockets have no meaning in the sim)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="TCP port (0 picks an ephemeral port)")
+    serve.add_argument("--profile", default="K-redis",
+                       choices=["K-apiserver", "K-redis", "K-redis-udf"])
+    serve.add_argument("--shards", type=int, default=1,
+                       help="Object-backend shard count")
+    serve.set_defaults(fn=cmd_serve)
 
     trace = sub.add_parser(
         "trace", help="causal tracing over a seeded retail run"

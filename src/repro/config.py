@@ -95,3 +95,19 @@ RECONCILER_MAX_REQUEUES = 3
 def shipment_latency_model(seed=None):
     """The simulated FedEx-call service time distribution."""
     return LogNormalLatency(seed=seed, **SHIPMENT_PROCESSING)
+
+
+def zero_calibration(base=None):
+    """A :class:`StoreCalibration` with every infrastructure cost zeroed.
+
+    The realtime backend paces the schedule on the wall clock, so
+    simulated store-op costs and watch fan-out overhead would
+    double-count real execution time.  The op-name surface of ``base``
+    (default :data:`APISERVER`) is preserved so backends that validate
+    op names (``command``/``fcall`` on MemKV) keep working.
+    """
+    base = base if base is not None else APISERVER
+    return StoreCalibration(
+        ops={name: OpLatency(base=0.0) for name in base.ops},
+        watch_overhead=0.0,
+    )

@@ -19,7 +19,7 @@ from repro.core.catalog import Catalog, CompatibilityReport, IntegratorPackage
 from repro.core.integrator import Integrator
 from repro.core.knactor import Knactor, StoreBinding
 from repro.core.reconciler import Reconciler, ReconcilerContext
-from repro.core.runtime import KnactorRuntime
+from repro.core.runtime import KnactorRuntime, create_environment
 from repro.core.cast import Cast
 from repro.core.rollup import Rollup, RollupRule
 from repro.core.sync import Flow, Sync
@@ -36,6 +36,7 @@ __all__ = [
     "Integrator",
     "Knactor",
     "KnactorRuntime",
+    "create_environment",
     "OptimizationProfile",
     "Pipeline",
     "Reconciler",

@@ -11,11 +11,42 @@ from repro.errors import ConfigurationError, NotFoundError
 from repro.core.knactor import Knactor
 from repro.core.reconciler import ReconcilerContext
 from repro.obs import ObsPlane
-from repro.simnet import Network, Tracer
+
+#: Execution backends the runtime can create environments for.
+MODES = ("sim", "realtime")
+
+
+def create_environment(mode="sim", **kwargs):
+    """Build an execution environment for ``mode``.
+
+    ``"sim"`` returns the deterministic discrete-event
+    :class:`repro.simnet.Environment`; ``"realtime"`` returns a
+    wall-clock-paced :class:`repro.realtime.RealtimeEnvironment`.
+    Extra keyword arguments go to the environment constructor
+    (e.g. ``factor=`` for realtime).
+    """
+    if mode == "sim":
+        from repro.simnet import Environment
+
+        return Environment(**kwargs)
+    if mode == "realtime":
+        from repro.realtime import RealtimeEnvironment
+
+        return RealtimeEnvironment(**kwargs)
+    raise ConfigurationError(
+        f"unknown execution mode {mode!r}: expected one of {MODES}"
+    )
 
 
 class KnactorRuntime:
     """Hosts knactors + integrators over a set of Data Exchanges.
+
+    The runtime is backend-agnostic: pass an environment built by
+    :func:`create_environment` (or any object with the simnet kernel
+    surface), or pass ``mode="sim"`` / ``mode="realtime"`` and let the
+    runtime build one.  Passing both checks they agree.  Under the
+    realtime backend the default network carries zero simulated latency
+    -- real scheduling provides the time.
 
     With ``obs=True`` (or a pre-built :class:`repro.obs.ObsPlane`), the
     runtime attaches the observability plane to its tracer -- store
@@ -24,10 +55,28 @@ class KnactorRuntime:
     leaves tracing/metrics off with zero overhead.
     """
 
-    def __init__(self, env, network=None, tracer=None, obs=None):
+    def __init__(self, env=None, network=None, tracer=None, obs=None,
+                 mode=None):
+        if env is None:
+            env = create_environment(mode if mode is not None else "sim")
+        elif mode is not None:
+            if mode not in MODES:
+                raise ConfigurationError(
+                    f"unknown execution mode {mode!r}: "
+                    f"expected one of {MODES}"
+                )
+            backend = getattr(env, "backend", "sim")
+            if backend != mode:
+                raise ConfigurationError(
+                    f"mode={mode!r} does not match the given "
+                    f"environment's backend {backend!r}"
+                )
         self.env = env
-        self.network = network if network is not None else Network(env)
-        self.tracer = tracer if tracer is not None else Tracer(env)
+        self.mode = getattr(env, "backend", "sim")
+        self.network = (
+            network if network is not None else self._default_network(env)
+        )
+        self.tracer = tracer if tracer is not None else self._default_tracer(env)
         self.obs = None
         if obs is not None and obs is not False:
             plane = obs if isinstance(obs, ObsPlane) else ObsPlane(env)
@@ -36,6 +85,23 @@ class KnactorRuntime:
         self.knactors = {}
         self.integrators = {}
         self._started = False
+
+    @staticmethod
+    def _default_network(env):
+        """A network matched to the backend: simulated hop latencies in
+        the sim, zero added latency in real time (the wall clock is the
+        latency)."""
+        from repro.simnet import FixedLatency, Network
+
+        if getattr(env, "backend", "sim") == "realtime":
+            return Network(env, default_latency=FixedLatency(0.0))
+        return Network(env)
+
+    @staticmethod
+    def _default_tracer(env):
+        from repro.simnet import Tracer
+
+        return Tracer(env)
 
     # -- registration -------------------------------------------------------------
 

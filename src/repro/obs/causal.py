@@ -39,6 +39,9 @@ class CausalTracer:
 
     def __init__(self, env):
         self.env = env
+        # Wall-clock stamps on the realtime backend (see simnet.trace).
+        clock = getattr(env, "trace_clock", None)
+        self._clock = clock if clock is not None else (lambda: env.now)
         self.plane = None  # back-reference set by ObsPlane
         self._seq = 0
         self.spans = {}  # span_id -> CausalSpan
@@ -79,7 +82,7 @@ class CausalTracer:
             parent_id=parent.span_id if parent is not None else None,
             name=name,
             service=service,
-            start=self.env.now,
+            start=self._clock(),
             attrs=dict(attrs),
             baggage=merged,
         )
@@ -99,7 +102,7 @@ class CausalTracer:
         if span is None:
             return None
         if span.end is None:
-            span.end = self.env.now
+            span.end = self._clock()
         span.attrs.update(attrs)
         return span
 
@@ -114,7 +117,7 @@ class CausalTracer:
         """Attach a point event (retry, dead-letter, ...) to a span."""
         span = self.spans.get(ctx.span_id)
         if span is not None:
-            span.events.append((self.env.now, name, attrs))
+            span.events.append((self._clock(), name, attrs))
 
     # -- queries -------------------------------------------------------------
 
@@ -191,7 +194,7 @@ class CausalTracer:
         """
         out = []
         for span in self.spans.values():
-            end = span.end if span.end is not None else self.env.now
+            end = span.end if span.end is not None else self._clock()
             args = {"span": span.span_id, "trace": span.trace_id}
             if span.parent_id is not None:
                 args["parent"] = span.parent_id

@@ -96,7 +96,7 @@ class _Handle:
         self._touch()
 
     def _touch(self):
-        self._series.last_updated = self._registry.env.now
+        self._series.last_updated = self._registry._clock()
 
     @property
     def value(self):
@@ -108,6 +108,9 @@ class Registry:
 
     def __init__(self, env):
         self.env = env
+        # Wall-clock stamps on the realtime backend (see simnet.trace).
+        clock = getattr(env, "trace_clock", None)
+        self._clock = clock if clock is not None else (lambda: env.now)
         self._metrics = {}  # name -> (kind, {label_key: _Series})
         self._collectors = []
 
@@ -188,7 +191,7 @@ class Registry:
                     for key, series in sorted(series_map.items())
                 },
             }
-        return {"time": self.env.now, "metrics": metrics}
+        return {"time": self._clock(), "metrics": metrics}
 
     def window(self):
         """Mark the current totals; ``delta()`` later gives rates."""

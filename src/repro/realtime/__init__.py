@@ -1,0 +1,53 @@
+"""Real-time execution backend: the simnet kernel surface on asyncio.
+
+``repro.realtime`` is the second execution backend behind the knactor
+API.  :class:`RealtimeEnvironment` implements the exact kernel surface of
+:class:`repro.simnet.Environment` -- ``timeout`` / ``process`` / ``event``
+/ ``run(until=)`` / ``now``, Event/AllOf/AnyOf/Interrupt semantics,
+``Store``/``Resource`` queues -- paced by the wall clock on a private
+asyncio loop, so every substrate (stores, ``ShardedStore``, watch/delta
+streams, reconcilers, Cast/Sync, pub/sub, RPC, the txn coordinator, the
+flow plane) runs **unmodified** in real time.
+
+The simulation primitives are kernel-agnostic (they only touch
+``env.schedule`` / ``env.now`` / ``env.active_process``), so this package
+re-exports them rather than duplicating them: a ``yield store.get()``
+blocks a realtime process exactly as it blocks a sim process.
+
+Select the backend through the runtime (``KnactorRuntime(mode="realtime")``)
+or build an environment directly::
+
+    from repro.realtime import RealtimeEnvironment
+
+    env = RealtimeEnvironment(factor=1.0)   # 1 schedule second == 1 real second
+    app = RetailKnactorApp.build(env=env)   # app code unchanged
+
+See ``docs/runtime.md`` for the sim-vs-realtime contract and the
+``knactor serve`` walkthrough.
+"""
+
+from repro.realtime.env import RealtimeDriftError, RealtimeEnvironment
+from repro.simnet.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    SimulationError,
+    Timeout,
+)
+from repro.simnet.process import Process
+from repro.simnet.queue import Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Process",
+    "RealtimeDriftError",
+    "RealtimeEnvironment",
+    "Resource",
+    "SimulationError",
+    "Store",
+    "Timeout",
+]

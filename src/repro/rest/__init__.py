@@ -6,9 +6,29 @@ resources with the standard verb semantics, status codes, and a client.
 Like the other baselines it exists to make the coupling measurable: a
 composing service must hard-code the other service's URL structure and
 representation.
+
+Under the realtime backend a :class:`RestServer` can additionally bind a
+real TCP socket (:meth:`RestServer.serve` -> :class:`HttpListener`),
+turning a Data Exchange into a live network service.
 """
 
+from repro.rest.http import HttpListener
 from repro.rest.router import Route, Router
-from repro.rest.server import Request, Response, RestClient, RestServer
+from repro.rest.server import (
+    HTTPError,
+    Request,
+    Response,
+    RestClient,
+    RestServer,
+)
 
-__all__ = ["Request", "Response", "RestClient", "RestServer", "Route", "Router"]
+__all__ = [
+    "HTTPError",
+    "HttpListener",
+    "Request",
+    "Response",
+    "RestClient",
+    "RestServer",
+    "Route",
+    "Router",
+]

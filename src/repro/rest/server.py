@@ -62,6 +62,19 @@ class RestServer:
         self.router.add(method, template, handler)
         return self
 
+    def serve(self, host="127.0.0.1", port=0):
+        """Bind a real TCP socket fronting this server (realtime only).
+
+        Returns a started :class:`repro.rest.http.HttpListener`; drive
+        the kernel (``env.run(...)``) to serve traffic, and read
+        ``listener.port`` when binding an ephemeral port.  Raises
+        :class:`~repro.errors.ConfigurationError` on the sim backend,
+        which has no wall clock to serve on.
+        """
+        from repro.rest.http import HttpListener
+
+        return HttpListener(self.env, self, host=host, port=port).start()
+
     def dispatch(self, request):
         """Server-side execution; process event with the Response."""
         return self.env.process(self._dispatch(request))

@@ -172,6 +172,10 @@ class Environment:
         env.run(until=10.0)
     """
 
+    #: Which execution backend this kernel is (``repro.realtime`` ships a
+    #: wall-clock ``"realtime"`` environment with the same surface).
+    backend = "sim"
+
     def __init__(self, initial_time=0.0):
         self._now = float(initial_time)
         self._queue = []

@@ -57,14 +57,24 @@ class Tracer:
         self.events = []
         self._open_spans = {}
         self.spans = []
+        # Realtime environments expose ``trace_clock()`` (the wall
+        # clock); without it timestamps are the schedule clock.  Same
+        # recording API either way.
+        clock = getattr(env, "trace_clock", None)
+        self._clock = clock if clock is not None else (lambda: env.now)
+
+    @property
+    def now(self):
+        """The timestamp source this tracer stamps with."""
+        return self._clock()
 
     def record(self, category, name, **attrs):
-        """Record a point event at the current virtual time."""
-        self.events.append(TraceEvent(self.env.now, category, name, attrs))
+        """Record a point event at the current time."""
+        self.events.append(TraceEvent(self._clock(), category, name, attrs))
 
     def begin(self, category, name, key=None, **attrs):
         """Open a span; ``key`` distinguishes concurrent spans of one name."""
-        span = Span(category, name, self.env.now, attrs=attrs)
+        span = Span(category, name, self._clock(), attrs=attrs)
         self._open_spans[(category, name, key)] = span
         return span
 
@@ -83,7 +93,7 @@ class Tracer:
                 f"never begun or already ended; open spans: "
                 f"{open_now if open_now else 'none'}"
             )
-        span.end = self.env.now
+        span.end = self._clock()
         span.attrs.update(attrs)
         self.spans.append(span)
         return span

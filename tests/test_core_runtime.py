@@ -5,6 +5,7 @@ import pytest
 from repro.core import (
     Knactor,
     KnactorRuntime,
+    create_environment,
     Pipeline,
     StoreBinding,
     TimeWindowCondition,
@@ -105,6 +106,40 @@ class TestRuntime:
         call(handle.create("x", {"name": "n"}))
         env.run()
         assert rec.count >= 1
+
+
+class TestExecutionModes:
+    """Backend selection through KnactorRuntime(mode=) / create_environment."""
+
+    def test_default_mode_is_sim(self):
+        rt = KnactorRuntime()
+        assert rt.mode == "sim"
+        assert getattr(rt.env, "backend", "sim") == "sim"
+
+    def test_realtime_mode_builds_realtime_environment(self):
+        rt = KnactorRuntime(mode="realtime")
+        assert rt.mode == "realtime"
+        assert rt.env.backend == "realtime"
+        # Real scheduling is the latency: the default network adds none.
+        assert rt.network.default_latency.delay == 0.0
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown execution mode"):
+            KnactorRuntime(mode="warp")
+        with pytest.raises(ConfigurationError, match="unknown execution mode"):
+            create_environment("warp")
+
+    def test_mode_environment_mismatch_rejected(self, env):
+        with pytest.raises(ConfigurationError, match="does not match"):
+            KnactorRuntime(env, mode="realtime")
+
+    def test_matching_mode_and_environment_accepted(self, env):
+        assert KnactorRuntime(env, mode="sim").env is env
+
+    def test_create_environment_kwargs_reach_the_backend(self):
+        env = create_environment("realtime", factor=0.25)
+        assert env.factor == 0.25
+        env.close()
 
 
 class TestPolicies:
