@@ -1,0 +1,198 @@
+"""Benchmark-artifact schema validation and regression gating.
+
+Every ``BENCH_*.json`` artifact carries a versioned envelope::
+
+    {"schema": 1, "bench": "<name>", "seed": <int>, "smoke": <bool>, ...}
+
+Two commands:
+
+``--validate [paths...]``
+    Check the envelope on each artifact (default: every ``BENCH_*.json``
+    at the repo root).  Exit 1 listing every violation.
+
+``--baseline OLD --fresh NEW [--tolerance 0.05]``
+    Compare a freshly generated artifact against the committed baseline
+    and exit 1 on regression.  Metrics are discovered structurally: any
+    numeric leaf whose key ends in a latency suffix (``p50_s``,
+    ``p99_s``, ``_ms``) must not grow past ``baseline * (1 + tol)``,
+    and any throughput leaf (``throughput_rps``, ``orders_per_sec``,
+    ``ops_per_sim_sec``) must not fall below ``baseline * (1 - tol)``.
+    The sim backend is deterministic, so like-for-like comparisons are
+    exact and the tolerance only absorbs intentional re-baselining
+    slack.
+
+Comparisons are refused across different ``bench`` names or
+smoke/full shapes -- that is a harness bug, not a regression.
+
+Run as a script (``python benchmarks/baseline.py ...``); CI wires both
+commands into the bench job.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+SCHEMA_VERSION = 1
+
+#: Required envelope: key -> accepted types.
+ENVELOPE = {
+    "schema": (int,),
+    "bench": (str,),
+    "seed": (int,),
+    "smoke": (bool,),
+}
+
+#: Leaf-key suffixes and the direction that counts as a regression.
+LOWER_IS_BETTER = ("p50_s", "p99_s", "p999_s", "_ms")
+HIGHER_IS_BETTER = ("throughput_rps", "orders_per_sec", "ops_per_sim_sec")
+
+
+def validate(doc, label="artifact"):
+    """Envelope violations for one parsed artifact; empty when clean."""
+    problems = []
+    if not isinstance(doc, dict):
+        return [f"{label}: top level must be an object"]
+    for key, types in ENVELOPE.items():
+        if key not in doc:
+            problems.append(f"{label}: missing required key {key!r}")
+        # bool is an int subclass; keep the check strict per key.
+        elif not isinstance(doc[key], types) or (
+            key in ("schema", "seed") and isinstance(doc[key], bool)
+        ):
+            problems.append(
+                f"{label}: {key!r} must be {types[0].__name__}, "
+                f"got {type(doc[key]).__name__}"
+            )
+    if isinstance(doc.get("schema"), int) and doc["schema"] != SCHEMA_VERSION:
+        problems.append(
+            f"{label}: schema version {doc['schema']} unsupported "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    return problems
+
+
+def _metric_leaves(doc, prefix=""):
+    """Yield (path, value, direction) for every gated numeric leaf."""
+    if isinstance(doc, dict):
+        items = doc.items()
+    elif isinstance(doc, list):
+        items = ((f"[{i}]", v) for i, v in enumerate(doc))
+    else:
+        return
+    for key, value in items:
+        path = f"{prefix}.{key}" if prefix and not key.startswith("[") else (
+            f"{prefix}{key}" if key.startswith("[") else key
+        )
+        if isinstance(value, (dict, list)):
+            yield from _metric_leaves(value, path)
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            name = key if isinstance(key, str) else ""
+            if name.endswith(LOWER_IS_BETTER):
+                yield path, float(value), "lower"
+            elif name.endswith(HIGHER_IS_BETTER):
+                yield path, float(value), "higher"
+
+
+def compare(baseline, fresh, tolerance=0.05):
+    """Regressions of ``fresh`` vs ``baseline``; empty when clean.
+
+    A metric present in only one document is skipped (bench shape
+    changed; re-baseline instead).  Near-zero baselines are skipped too:
+    a ratio against ~0 is noise, not signal.
+    """
+    if baseline.get("bench") != fresh.get("bench"):
+        return [
+            f"bench mismatch: baseline {baseline.get('bench')!r} vs "
+            f"fresh {fresh.get('bench')!r} -- not comparable"
+        ]
+    if baseline.get("smoke") != fresh.get("smoke"):
+        return [
+            f"shape mismatch: baseline smoke={baseline.get('smoke')} vs "
+            f"fresh smoke={fresh.get('smoke')} -- not comparable"
+        ]
+    base_metrics = {p: (v, d) for p, v, d in _metric_leaves(baseline)}
+    regressions = []
+    for path, value, direction in _metric_leaves(fresh):
+        entry = base_metrics.get(path)
+        if entry is None:
+            continue
+        base_value, _ = entry
+        if abs(base_value) < 1e-9:
+            continue
+        if direction == "lower" and value > base_value * (1 + tolerance):
+            regressions.append(
+                f"{path}: {value:.6g} vs baseline {base_value:.6g} "
+                f"(+{(value / base_value - 1) * 100:.1f}%, "
+                f"tolerance {tolerance * 100:.0f}%)"
+            )
+        elif direction == "higher" and value < base_value * (1 - tolerance):
+            regressions.append(
+                f"{path}: {value:.6g} vs baseline {base_value:.6g} "
+                f"({(value / base_value - 1) * 100:.1f}%, "
+                f"tolerance {tolerance * 100:.0f}%)"
+            )
+    return regressions
+
+
+def _load(path):
+    return json.loads(Path(path).read_text())
+
+
+def run_validate(paths):
+    paths = [Path(p) for p in paths] or sorted(ROOT.glob("BENCH_*.json"))
+    problems = []
+    for path in paths:
+        try:
+            doc = _load(path)
+        except (OSError, ValueError) as error:
+            problems.append(f"{path.name}: unreadable ({error})")
+            continue
+        problems.extend(validate(doc, label=path.name))
+    for problem in problems:
+        print(f"INVALID: {problem}")
+    if not problems:
+        print(f"validated {len(paths)} artifact(s): all envelopes ok")
+    return 1 if problems else 0
+
+
+def run_compare(baseline_path, fresh_path, tolerance):
+    baseline, fresh = _load(baseline_path), _load(fresh_path)
+    problems = validate(baseline, "baseline") + validate(fresh, "fresh")
+    if problems:
+        for problem in problems:
+            print(f"INVALID: {problem}")
+        return 1
+    regressions = compare(baseline, fresh, tolerance)
+    if regressions:
+        print(f"REGRESSION vs {baseline_path}:")
+        for regression in regressions:
+            print(f"  {regression}")
+        return 1
+    print(
+        f"no regression: {fresh_path} within {tolerance * 100:.0f}% "
+        f"of {baseline_path}"
+    )
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--validate", nargs="*", metavar="PATH",
+                        help="validate artifact envelopes "
+                             "(default: BENCH_*.json at the repo root)")
+    parser.add_argument("--baseline", help="committed baseline artifact")
+    parser.add_argument("--fresh", help="freshly generated artifact")
+    parser.add_argument("--tolerance", type=float, default=0.05)
+    args = parser.parse_args(argv)
+    if args.validate is not None:
+        return run_validate(args.validate)
+    if args.baseline and args.fresh:
+        return run_compare(args.baseline, args.fresh, args.tolerance)
+    parser.error("need --validate or --baseline/--fresh")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

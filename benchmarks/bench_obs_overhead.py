@@ -109,6 +109,7 @@ def run_sweep(smoke=False):
     trace_events = traced.pop("trace_events")
     metrics_snapshot = traced.pop("metrics_snapshot")
     return {
+        "schema": 1,
         "bench": "obs_overhead",
         "seed": SEED,
         "smoke": smoke,
@@ -129,11 +130,16 @@ def write_results(results, path=OUTPUT, trace_path=TRACE_OUTPUT,
                   metrics_path=METRICS_OUTPUT):
     trace_events = results.pop("_trace_events")
     metrics_snapshot = results.pop("_metrics_snapshot")
+    # Chrome trace viewers ignore unknown top-level keys, so the version
+    # stamp rides alongside traceEvents; same for the metrics snapshot.
+    stamp = {"schema": 1, "seed": results["seed"], "smoke": results["smoke"]}
     Path(trace_path).write_text(
-        json.dumps({"traceEvents": trace_events}) + "\n"
+        json.dumps({**stamp, "bench": "obs_trace",
+                    "traceEvents": trace_events}) + "\n"
     )
     Path(metrics_path).write_text(
-        json.dumps(metrics_snapshot, indent=2) + "\n"
+        json.dumps({**stamp, "bench": "obs_metrics",
+                    **metrics_snapshot}, indent=2) + "\n"
     )
     path = Path(path)
     path.write_text(json.dumps(results, indent=2) + "\n")

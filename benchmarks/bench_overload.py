@@ -185,6 +185,7 @@ def run_sweep(smoke=False):
         if nominal_off["orders_per_sec"] else 0.0
     )
     return {
+        "schema": 1,
         "bench": "overload",
         "seed": SEED,
         "smoke": smoke,

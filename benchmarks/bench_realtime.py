@@ -192,6 +192,7 @@ def run_sweep(smoke=False):
             ),
         })
     return {
+        "schema": 1,
         "bench": "realtime",
         "seed": SEED,
         "smoke": smoke,

@@ -269,7 +269,9 @@ def run_sweep(smoke=False):
         })
     fleet = run_fleet(seeds[0], n_writes)
     return {
+        "schema": 1,
         "bench": "reshard",
+        "seed": seeds[0],
         "smoke": smoke,
         "seeds": list(seeds),
         "writes_per_seed": n_writes,

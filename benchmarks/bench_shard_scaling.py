@@ -220,6 +220,7 @@ def run_sweep(smoke=False):
         })
     baseline = throughput[0]["ops_per_sec"]
     return {
+        "schema": 1,
         "bench": "shard_scaling",
         "seed": SEED,
         "smoke": smoke,

@@ -328,7 +328,9 @@ def run_sweep(smoke=False):
                   for c in coordinated)
     trouble = sum(b["txns"] - b["outcomes"]["committed"] for b in baseline)
     return {
+        "schema": 1,
         "bench": "txn-chaos",
+        "seed": seeds[0],
         "smoke": smoke,
         "seeds": list(seeds),
         "txns_per_seed": n_txns,

@@ -193,6 +193,7 @@ def run_sweep(smoke=False):
     for case in cases:
         case.pop("event_orders")
     return {
+        "schema": 1,
         "bench": "zero_copy_delta",
         "seed": SEED,
         "smoke": smoke,

@@ -91,6 +91,9 @@ class RetailKnactorApp:
     tracer: Tracer = None
     orders_placed: list = field(default_factory=list)
     flow: FlowConfig = None
+    #: Causal trace id of the most recent ``place_order`` (obs plane
+    #: attached only) -- load drivers link latency exemplars through it.
+    last_trace_id: str = None
 
     @classmethod
     def build(cls, env=None, profile=K_APISERVER, seed=7, with_notify=True,
@@ -268,6 +271,7 @@ class RetailKnactorApp:
         root = obs.causal.new_trace(
             "place-order", service="frontend", baggage={"order": key}, key=key,
         )
+        self.last_trace_id = root.trace_id
         with use(root):
             proc = handle.create(key, data)
         # The root span covers the synchronous create round trip; the

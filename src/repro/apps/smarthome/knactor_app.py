@@ -63,12 +63,14 @@ class SmartHomeKnactorApp:
     processes: list = field(default_factory=list)
 
     @classmethod
-    def build(cls, env=None, trace=None, mode=None, shape_latency=None):
+    def build(cls, env=None, trace=None, mode=None, shape_latency=None,
+              obs=None):
         """``mode`` / ``shape_latency`` as in ``RetailKnactorApp.build``:
         select the execution backend and keep/zero the simulated
         infrastructure latencies (defaults: shaped on sim, unshaped on
         realtime).  Device schedules (motion trace, lamp energy ticks)
-        live on the schedule clock either way."""
+        live on the schedule clock either way.  ``obs=True`` attaches an
+        observability plane, as in the retail app."""
         if env is None:
             env = create_environment(mode if mode is not None else "sim")
         if shape_latency is None:
@@ -79,7 +81,7 @@ class SmartHomeKnactorApp:
         network = Network(env, default_latency=hop)
         tracer = Tracer(env)
         runtime = KnactorRuntime(
-            env, network=network, tracer=tracer, mode=mode
+            env, network=network, tracer=tracer, obs=obs, mode=mode
         )
         object_backend = ApiServer(
             env, network, location="object-backend",

@@ -62,14 +62,16 @@ def cmd_demo(args):
         if args.telemetry:
             import json
 
-            from repro.metrics.telemetry import SLOMonitor, runtime_snapshot
+            from repro.metrics.telemetry import runtime_snapshot
+            from repro.obs.slo import TraceLatencySLO
 
             print("\ntelemetry snapshot:")
             print(json.dumps(runtime_snapshot(app.runtime), indent=2))
-            monitor = SLOMonitor(
-                "exchange-latency", "retail-cast", target_seconds=0.1
+            spec = TraceLatencySLO(
+                "exchange-latency", integrator="retail-cast",
+                target_seconds=0.1,
             )
-            print(monitor.evaluate(app.tracer).describe())
+            print(spec.evaluate_trace(app.tracer).describe())
     else:
         from repro.apps.smarthome import SmartHomeKnactorApp
 
@@ -200,10 +202,95 @@ def cmd_trace_request(args):
 
 
 def cmd_top(args):
+    if getattr(args, "slo", False):
+        return _cmd_top_slo(args)
     if getattr(args, "elastic", False):
         return _cmd_top_elastic(args)
     app = _run_traced_retail(args.profile, args.orders)
     print(app.runtime.obs.dashboard())
+    return 0
+
+
+def _cmd_top_slo(args):
+    """`knactor top --slo`: burn rates and error budget under load.
+
+    Drives the sensor-fleet scenario through a seeded flash crowd with
+    admission control armed -- the shed traffic burns the availability
+    budget -- while a :class:`~repro.obs.slo.BurnRateTracker` samples
+    good/total counts on the schedule clock.  Prints the SLO report,
+    the per-window burn rates, and the error budget remaining for each
+    objective.
+    """
+    from repro.flow import FlowConfig
+    from repro.load import (
+        FlashCrowd,
+        LoadGenerator,
+        SensorFleetLoadScenario,
+        TrafficClass,
+        ZipfKeys,
+    )
+    from repro.obs.slo import BurnRateTracker, evaluate
+
+    devices = 5_000
+    scenario = SensorFleetLoadScenario(
+        devices=devices,
+        flow=FlowConfig(admission_rate=60, admission_burst=20,
+                        admission_queue_high=4),
+    )
+    classes = [
+        TrafficClass(
+            name="devices",
+            arrivals=FlashCrowd(base_rate=25.0, spike_rate=300.0,
+                                spike_at=1.0, spike_duration=0.8),
+            keys=ZipfKeys(devices, key_format="device-{:06d}"),
+            principal="device-fleet",
+        ),
+    ]
+    specs = scenario.slos()
+    tracker = BurnRateTracker(
+        scenario.env, scenario.registry, specs, interval=0.25,
+    )
+    tracker.start()
+    duration = 3.0
+
+    # Stop sampling just past the load window: burn-rate windows then
+    # reflect the loaded period, and the tracker's periodic tick stops
+    # keeping the quiesce loop alive for its full budget.
+    def _stop_tracker():
+        yield scenario.env.timeout(duration + 0.5)
+        tracker.sample()
+        tracker.stop()
+
+    scenario.env.process(_stop_tracker())
+    result = LoadGenerator(scenario, classes, duration=duration, seed=7).run()
+    report = evaluate(specs, scenario.registry, tracker=tracker,
+                      scenario=scenario.name, env=scenario.env)
+
+    summary = result.summary()
+    print(f"load: {summary['offered']} offered, "
+          f"{summary['completed']} ok, {summary['rejected']} rejected, "
+          f"{summary['failed']} failed "
+          f"(p50 {summary['p50_s'] * 1000:.2f} ms, "
+          f"p99 {summary['p99_s'] * 1000:.2f} ms)")
+    print(report.describe())
+    print("burn rates (budget consumption vs sustainable, per window):")
+    for spec in specs:
+        budget = tracker.error_budget_remaining(spec)
+        budget_txt = (f"{budget * 100:.1f}% budget left"
+                      if budget is not None else "no data")
+        print(f"  {spec.name}: {budget_txt}")
+        for entry in tracker.burn_rates(spec):
+            fmt = lambda burn: f"{burn:.2f}x" if burn is not None else "-"
+            state = "ALERT" if entry["alert"] else "ok"
+            print(f"    {entry['long_seconds']:g}s/"
+                  f"{entry['short_seconds']:g}s window: "
+                  f"long {fmt(entry['long_burn'])} "
+                  f"short {fmt(entry['short_burn'])} "
+                  f"(page at {entry['factor']:g}x) [{state}]")
+    firing = tracker.alerts()
+    print(f"alerts firing: {len(firing)}"
+          + (" -- " + ", ".join(sorted({name for name, _ in firing}))
+             if firing else ""))
     return 0
 
 
@@ -258,6 +345,7 @@ BENCHMARKS = {
     "txn-chaos": "bench_txn_chaos",
     "reshard": "bench_reshard",
     "realtime": "bench_realtime",
+    "fleet": "bench_fleet",
 }
 
 
@@ -430,6 +518,10 @@ def build_parser():
     top.add_argument("--elastic", action="store_true",
                      help="run on an autoscaled shard fleet (live "
                           "resharding) and show ring/reshard metrics")
+    top.add_argument("--slo", action="store_true",
+                     help="drive the sensor fleet through a flash crowd "
+                          "and show live burn rates plus error-budget "
+                          "remaining per objective")
     top.set_defaults(fn=cmd_top)
 
     return parser

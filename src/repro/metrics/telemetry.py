@@ -11,14 +11,14 @@ are also worth exploring."  This module provides the telemetry layer:
   asserts on,
 - :func:`exchange_durations` -- per-exchange latency series extracted
   from the trace stream (the distributed-tracing view of an integrator),
-- :class:`SLOMonitor` -- declare a latency objective over a traced span
-  and ask whether the deployment meets it.
+- :class:`SLOMonitor` -- the **legacy** latency-objective shim.  The SLO
+  vocabulary now lives in :mod:`repro.obs.slo` (latency / availability /
+  freshness objectives with burn-rate alerting and trace exemplars);
+  ``SLOMonitor`` delegates to :class:`repro.obs.slo.TraceLatencySLO` and
+  warns once per process.
 """
 
 from dataclasses import dataclass, field
-
-from repro.errors import ConfigurationError
-from repro.metrics.latency import summarize
 
 
 def runtime_snapshot(runtime):
@@ -192,7 +192,16 @@ class SLOReport:
 
 @dataclass
 class SLOMonitor:
-    """A latency objective over an integrator's exchange spans."""
+    """Legacy shim: a latency objective over an integrator's spans.
+
+    Superseded by :class:`repro.obs.slo.TraceLatencySLO` (and, for
+    registry-backed objectives with burn-rate alerting,
+    :class:`repro.obs.slo.LatencySLO` /
+    :class:`~repro.obs.slo.AvailabilitySLO` /
+    :class:`~repro.obs.slo.FreshnessSLO`).  Construction warns once per
+    process; behaviour -- including the no-data-is-an-answer contract --
+    is unchanged.
+    """
 
     name: str
     integrator: str
@@ -201,10 +210,21 @@ class SLOMonitor:
     reports: list = field(default_factory=list)
 
     def __post_init__(self):
-        if self.target_seconds <= 0:
-            raise ConfigurationError("target_seconds must be positive")
-        if not 0 < self.percentile <= 1:
-            raise ConfigurationError("percentile must be in (0, 1]")
+        from repro.obs.slo import TraceLatencySLO
+        from repro.store.ring import deprecation_notice
+
+        # Validation lives in the new spec; invalid configuration still
+        # raises ConfigurationError from here.
+        self._spec = TraceLatencySLO(
+            name=self.name, integrator=self.integrator,
+            target_seconds=self.target_seconds, percentile=self.percentile,
+        )
+        deprecation_notice(
+            "repro.metrics.telemetry.SLOMonitor is deprecated; declare "
+            "objectives with repro.obs.slo (TraceLatencySLO keeps this "
+            "exact behaviour) -- see docs/observability.md",
+            dedup_key="slomonitor",
+        )
 
     def evaluate(self, tracer):
         """Evaluate against the trace; returns (and records) a report.
@@ -214,36 +234,15 @@ class SLOMonitor:
         the monitoring loop.  The report carries ``no_data=True`` and
         ``met=False``.
         """
-        durations = exchange_durations(tracer, self.integrator)
-        if not durations:
-            report = SLOReport(
-                name=self.name,
-                target_seconds=self.target_seconds,
-                percentile=self.percentile,
-                observed_seconds=0.0,
-                sample_count=0,
-                met=False,
-                no_data=True,
-            )
-            self.reports.append(report)
-            return report
-        stats = summarize(durations)
-        key = f"p{int(self.percentile * 100)}"
-        observed = stats.get(key)
-        if observed is None:
-            # summarize() exposes p50/p99; interpolate other percentiles.
-            ordered = sorted(durations)
-            rank = self.percentile * (len(ordered) - 1)
-            low = int(rank)
-            high = min(low + 1, len(ordered) - 1)
-            observed = ordered[low] * (1 - (rank - low)) + ordered[high] * (rank - low)
+        result = self._spec.evaluate_trace(tracer)
         report = SLOReport(
             name=self.name,
             target_seconds=self.target_seconds,
             percentile=self.percentile,
-            observed_seconds=observed,
-            sample_count=len(durations),
-            met=observed <= self.target_seconds,
+            observed_seconds=result.observed or 0.0,
+            sample_count=result.sample_count,
+            met=result.met,
+            no_data=result.no_data,
         )
         self.reports.append(report)
         return report

@@ -16,7 +16,10 @@ end-to-end visibility from the data plane itself:
 - :mod:`repro.obs.registry` -- labeled counters/gauges/histograms with
   sim-time-aware windowing behind one ``Registry.snapshot()``;
 - :mod:`repro.obs.plane` -- the :class:`ObsPlane` tying both to a
-  running :class:`~repro.core.runtime.KnactorRuntime`.
+  running :class:`~repro.core.runtime.KnactorRuntime`;
+- :mod:`repro.obs.slo` -- declarative :class:`SLOSpec` objectives over
+  the registry (latency percentiles, availability, watch-lag freshness)
+  with multi-window burn-rate alerting and trace exemplars.
 """
 
 from repro.obs.causal import CausalSpan, CausalTracer
@@ -31,13 +34,33 @@ from repro.obs.context import (
 )
 from repro.obs.plane import ObsPlane
 from repro.obs.registry import Registry
+from repro.obs.slo import (
+    AvailabilitySLO,
+    BurnRateTracker,
+    BurnWindow,
+    FreshnessSLO,
+    LatencySLO,
+    SLOReport,
+    SLOResult,
+    SLOSpec,
+    TraceLatencySLO,
+)
 
 __all__ = [
+    "AvailabilitySLO",
+    "BurnRateTracker",
+    "BurnWindow",
     "CausalSpan",
     "CausalTracer",
+    "FreshnessSLO",
+    "LatencySLO",
     "ObsPlane",
     "Registry",
+    "SLOReport",
+    "SLOResult",
+    "SLOSpec",
     "TraceContext",
+    "TraceLatencySLO",
     "activate",
     "bind_generator",
     "current_context",

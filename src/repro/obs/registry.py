@@ -29,6 +29,10 @@ HISTOGRAM = "histogram"
 #: bounding memory while keeping percentile estimates stable.
 _HISTOGRAM_CAP = 8192
 
+#: Worst-sample exemplars kept per histogram series: enough to hand an
+#: SLO violation a causal trace id without growing with the run.
+_EXEMPLAR_CAP = 4
+
 
 def _label_key(labels):
     return ",".join(f"{k}={labels[k]}" for k in sorted(labels))
@@ -38,7 +42,7 @@ class _Series:
     """One (metric, label-set) time series."""
 
     __slots__ = ("kind", "value", "values", "count", "total",
-                 "last_updated", "_stride")
+                 "last_updated", "_stride", "exemplars")
 
     def __init__(self, kind):
         self.kind = kind
@@ -48,6 +52,9 @@ class _Series:
         self.total = 0.0
         self.last_updated = None
         self._stride = 1  # histogram decimation stride
+        # Worst observations carrying a trace id: [(value, time, trace_id)],
+        # kept sorted descending by value, capped at _EXEMPLAR_CAP.
+        self.exemplars = [] if kind == HISTOGRAM else None
 
 
 class _Handle:
@@ -82,7 +89,11 @@ class _Handle:
         self._series.value = float(value)
         self._touch()
 
-    def observe(self, value):
+    def observe(self, value, exemplar=None):
+        """Record one sample; ``exemplar`` (a causal trace id) links the
+        observation to its trace.  Only the worst few exemplars are kept,
+        so a p99 violation is always one ``knactor trace request`` away
+        from the causal DAG that produced it."""
         series = self._series
         if series.kind != HISTOGRAM:
             raise ConfigurationError(f"observe() on a {series.kind}")
@@ -93,6 +104,12 @@ class _Handle:
             if len(series.values) > _HISTOGRAM_CAP:
                 series.values = series.values[::2]
                 series._stride *= 2
+        if exemplar is not None:
+            exemplars = series.exemplars
+            if len(exemplars) < _EXEMPLAR_CAP or value > exemplars[-1][0]:
+                exemplars.append((value, self._registry._clock(), exemplar))
+                exemplars.sort(key=lambda e: e[0], reverse=True)
+                del exemplars[_EXEMPLAR_CAP:]
         self._touch()
 
     def _touch(self):
@@ -154,6 +171,16 @@ class Registry:
 
     # -- reading -------------------------------------------------------------
 
+    def get_series(self, name):
+        """All ``label_key -> _Series`` of one metric ({} when absent).
+
+        The SLO layer reads raw reservoirs through this to evaluate
+        arbitrary percentiles and over-threshold fractions that the
+        p50/p99 snapshot summary cannot answer.
+        """
+        entry = self._metrics.get(name)
+        return dict(entry[1]) if entry is not None else {}
+
     @staticmethod
     def _percentile(ordered, q):
         if not ordered:
@@ -166,7 +193,7 @@ class Registry:
     def _series_value(self, series):
         if series.kind == HISTOGRAM:
             ordered = sorted(series.values)
-            return {
+            summary = {
                 "count": series.count,
                 "sum": series.total,
                 "min": ordered[0] if ordered else None,
@@ -174,6 +201,12 @@ class Registry:
                 "p50": self._percentile(ordered, 0.5),
                 "p99": self._percentile(ordered, 0.99),
             }
+            if series.exemplars:
+                summary["exemplars"] = [
+                    {"value": value, "time": when, "trace_id": trace_id}
+                    for value, when, trace_id in series.exemplars
+                ]
+            return summary
         return series.value
 
     def snapshot(self):

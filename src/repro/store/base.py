@@ -251,7 +251,14 @@ class Watch:
                 "watch_lag_seconds", store=self._server.location)
             for event in events:
                 if event.committed_at is not None:
-                    lag.observe(now - event.committed_at)
+                    # The commit's trace context rides the event; keeping
+                    # it as an exemplar links a freshness-SLO violation
+                    # straight to the causal DAG of the stale write.
+                    ctx = getattr(event, "ctx", None)
+                    lag.observe(
+                        now - event.committed_at,
+                        exemplar=ctx.trace_id if ctx is not None else None,
+                    )
         ready = []
         for event in events:
             materialized = self._materialize(event)

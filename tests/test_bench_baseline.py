@@ -1,0 +1,159 @@
+"""The CI regression gate: artifact envelopes and baseline comparison.
+
+``benchmarks/baseline.py`` is what CI runs; these tests pin both halves
+of its contract -- every committed ``BENCH_*.json`` carries a valid
+versioned envelope, and an injected p99/throughput regression against a
+committed baseline demonstrably fails the comparison (the ISSUE's
+acceptance criterion) while a like-for-like rerun passes.
+"""
+
+import copy
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli.main import _load_benchmark
+
+ROOT = Path(__file__).resolve().parent.parent
+
+baseline = _load_benchmark("baseline")
+
+
+def _doc(**overrides):
+    doc = {
+        "schema": 1, "bench": "unit", "seed": 3, "smoke": True,
+        "latency": {"p50_s": 0.010, "p99_s": 0.100},
+        "throughput_rps": 500.0,
+        "nested": [{"p99_s": 0.200}],
+    }
+    doc.update(overrides)
+    return doc
+
+
+class TestValidate:
+    def test_clean_envelope(self):
+        assert baseline.validate(_doc()) == []
+
+    def test_missing_keys_flagged(self):
+        doc = _doc()
+        del doc["seed"], doc["bench"]
+        problems = baseline.validate(doc)
+        assert len(problems) == 2
+        assert any("seed" in p for p in problems)
+
+    def test_wrong_types_flagged(self):
+        assert baseline.validate(_doc(seed="3"))
+        assert baseline.validate(_doc(bench=7))
+        assert baseline.validate(_doc(smoke="yes"))
+        # bool is an int subclass; the envelope check must still reject it.
+        assert baseline.validate(_doc(seed=True))
+        assert baseline.validate(_doc(schema=True))
+
+    def test_unknown_schema_version_flagged(self):
+        problems = baseline.validate(_doc(schema=2))
+        assert any("version 2" in p for p in problems)
+
+    def test_non_object_flagged(self):
+        assert baseline.validate([1, 2, 3])
+
+    def test_all_committed_artifacts_validate(self):
+        artifacts = sorted(ROOT.glob("BENCH_*.json"))
+        assert artifacts, "no committed benchmark artifacts found"
+        for path in artifacts:
+            doc = json.loads(path.read_text())
+            assert baseline.validate(doc, label=path.name) == [], path.name
+
+
+class TestCompare:
+    def test_identical_documents_pass(self):
+        assert baseline.compare(_doc(), _doc()) == []
+
+    def test_p99_regression_fails(self):
+        fresh = _doc()
+        fresh["latency"]["p99_s"] *= 1.5
+        regressions = baseline.compare(_doc(), fresh)
+        assert len(regressions) == 1
+        assert "latency.p99_s" in regressions[0]
+
+    def test_nested_regression_found(self):
+        fresh = _doc()
+        fresh["nested"][0]["p99_s"] *= 2
+        assert baseline.compare(_doc(), fresh)
+
+    def test_throughput_drop_fails_but_gain_passes(self):
+        slower = _doc(throughput_rps=400.0)
+        assert baseline.compare(_doc(), slower)
+        faster = _doc(throughput_rps=600.0)
+        assert baseline.compare(_doc(), faster) == []
+
+    def test_within_tolerance_passes(self):
+        fresh = _doc()
+        fresh["latency"]["p99_s"] *= 1.04
+        assert baseline.compare(_doc(), fresh, tolerance=0.05) == []
+        assert baseline.compare(_doc(), fresh, tolerance=0.01)
+
+    def test_bench_and_shape_mismatch_refused(self):
+        [problem] = baseline.compare(_doc(), _doc(bench="other"))
+        assert "not comparable" in problem
+        [problem] = baseline.compare(_doc(), _doc(smoke=False))
+        assert "shape mismatch" in problem
+
+    def test_new_and_near_zero_metrics_skipped(self):
+        fresh = _doc()
+        fresh["extra_p99_s"] = 99.0  # not in the baseline: re-baseline case
+        assert baseline.compare(_doc(), fresh) == []
+        base = _doc()
+        base["latency"]["p99_s"] = 0.0  # ratio vs ~0 is noise
+        fresh = _doc()
+        assert baseline.compare(base, fresh) == []
+
+    def test_injected_regression_against_committed_fleet_baseline(self):
+        """The acceptance criterion, against the real committed artifact."""
+        committed = json.loads((ROOT / "BENCH_fleet.json").read_text())
+        fresh = copy.deepcopy(committed)
+        fresh["scenarios"]["retail"]["load"]["p99_s"] *= 2
+        regressions = baseline.compare(committed, fresh)
+        assert regressions, "doubled p99 must trip the gate"
+        assert any("p99_s" in r for r in regressions)
+        # And the untouched copy passes -- determinism makes this exact.
+        assert baseline.compare(committed, copy.deepcopy(committed)) == []
+
+
+class TestCommandSurface:
+    def test_validate_command_on_committed_artifacts(self, capsys):
+        assert baseline.main(["--validate"]) == 0
+        assert "all envelopes ok" in capsys.readouterr().out
+
+    def test_validate_command_flags_bad_artifact(self, tmp_path, capsys):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text(json.dumps({"bench": "x"}))
+        assert baseline.main(["--validate", str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_compare_command_detects_regression(self, tmp_path, capsys):
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps(_doc()))
+        regressed = _doc()
+        regressed["latency"]["p99_s"] *= 2
+        new.write_text(json.dumps(regressed))
+        assert baseline.main(
+            ["--baseline", str(old), "--fresh", str(new)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        new.write_text(json.dumps(_doc()))
+        assert baseline.main(
+            ["--baseline", str(old), "--fresh", str(new)]) == 0
+        assert "no regression" in capsys.readouterr().out
+
+    def test_compare_command_rejects_invalid_inputs(self, tmp_path, capsys):
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps({"bench": "x"}))  # no envelope
+        new.write_text(json.dumps(_doc()))
+        assert baseline.main(
+            ["--baseline", str(old), "--fresh", str(new)]) == 1
+
+    def test_needs_a_command(self):
+        with pytest.raises(SystemExit):
+            baseline.main([])

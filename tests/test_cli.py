@@ -91,6 +91,17 @@ class TestCLI:
         assert "store_ops_total" in out
         assert "traces 1" in out
 
+    def test_top_slo(self, capsys):
+        assert main(["top", "--slo"]) == 0
+        out = capsys.readouterr().out
+        assert "SLO report: sensorfleet" in out
+        assert "burn rates" in out
+        assert "budget left" in out
+        # The flash crowd burns the availability budget hard enough to
+        # trip both multi-window alerts.
+        assert "[ALERT]" in out
+        assert "alerts firing: 2 -- sensorfleet-availability" in out
+
     def test_bench_names_resolve_to_modules(self):
         from pathlib import Path
 
