@@ -13,10 +13,33 @@ Plus the measurement harnesses behind Tables 1 and 2:
 
 - :mod:`repro.apps.retail.tasks`   -- T1/T2/T3 composition-cost artifacts,
 - :mod:`repro.apps.retail.measure` -- per-stage latency extraction.
+
+And the storefront read path (:mod:`repro.apps.retail.storefront`): the
+order-details page as a federated :class:`~repro.federation.ComposedView`
+over checkout/shipping/payment, with an RPC-composition baseline.
 """
 
 from repro.apps.retail.knactor_app import RETAIL_DXG, RetailKnactorApp
 from repro.apps.retail.rpc_app import RetailRpcApp
+from repro.apps.retail.storefront import (
+    STOREFRONT_PRINCIPAL,
+    STOREFRONT_VIEW_NAME,
+    attach_storefront,
+    order_details,
+    rpc_order_details,
+    storefront_view,
+)
 from repro.apps.retail.workload import OrderWorkload
 
-__all__ = ["RETAIL_DXG", "OrderWorkload", "RetailKnactorApp", "RetailRpcApp"]
+__all__ = [
+    "RETAIL_DXG",
+    "OrderWorkload",
+    "RetailKnactorApp",
+    "RetailRpcApp",
+    "STOREFRONT_PRINCIPAL",
+    "STOREFRONT_VIEW_NAME",
+    "attach_storefront",
+    "order_details",
+    "rpc_order_details",
+    "storefront_view",
+]

@@ -8,7 +8,7 @@ Subcommands:
 - ``knactor table1``                  -- regenerate Table 1,
 - ``knactor table2 [--orders N]``     -- regenerate Table 2,
 - ``knactor analyze FILE``            -- statically analyze a DXG file,
-- ``knactor bench shard-scaling|zero-copy|...|realtime`` -- run a benchmark,
+- ``knactor bench shard-scaling|zero-copy|...|federation`` -- run a benchmark,
 - ``knactor serve retail --realtime [--port N]`` -- serve the retail app
   over a real TCP socket on the wall-clock backend,
 - ``knactor trace export FILE``       -- Chrome trace-event JSON of a run,
@@ -346,6 +346,7 @@ BENCHMARKS = {
     "reshard": "bench_reshard",
     "realtime": "bench_realtime",
     "fleet": "bench_fleet",
+    "federation": "bench_federation",
 }
 
 

@@ -3,7 +3,7 @@
 "the Sync integrator offers dataflow operators like filter, rename, sort,
 and aggregation functions" (paper §3.2).  A :class:`Pipeline` builds the
 operator-spec list executed by the Log store's query engine
-(:mod:`repro.store.zql`)::
+(the shared core, :mod:`repro.query`)::
 
     ops = (Pipeline()
            .filter("triggered == True")
@@ -12,7 +12,7 @@ operator-spec list executed by the Log store's query engine
            .build())
 """
 
-from repro.store.zql import compile_query
+from repro.query.core import compile_ops
 
 
 class Pipeline:
@@ -65,7 +65,7 @@ class Pipeline:
 
     def build(self):
         """The operator-spec list (validated by compiling once)."""
-        compile_query(self._ops)
+        compile_ops(self._ops)
         return list(self._ops)
 
     def __len__(self):

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 
 from repro.core.integrator import Integrator
 from repro.errors import AlreadyExistsError, ConfigurationError
-from repro.store.zql import compile_query
+from repro.query.core import compile_ops
 
 
 @dataclass
@@ -86,7 +86,7 @@ class Rollup(Integrator):
                 )
             if rule.window is not None and rule.window <= 0:
                 raise ConfigurationError("window must be positive")
-            compile_query(rule.ops(now=0.0))  # validate early
+            compile_ops(rule.ops(now=0.0))  # validate early
             log_de = self.runtime.exchange(rule.log_de)
             object_de = self.runtime.exchange(rule.object_de)
             self._bound.append(

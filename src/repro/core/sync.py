@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from repro.errors import ConfigurationError
 from repro.core.integrator import Integrator
 from repro.obs.context import bind_generator, current_context, span_process
-from repro.store.zql import compile_query
+from repro.query.core import compile_ops
 
 
 @dataclass
@@ -87,7 +87,7 @@ class Sync(Integrator):
                 )
             de = self.runtime.exchange(flow.de)
             ops = flow.ops()
-            compile_query(ops)  # validate early
+            compile_ops(ops)  # validate early
             bound = _BoundFlow(
                 flow=flow,
                 source_handle=de.handle(
@@ -192,7 +192,7 @@ class Sync(Integrator):
             )
         else:
             # Local execution: transform the delivered batch in-process.
-            pipeline = compile_query(bound.ops)
+            pipeline = compile_ops(bound.ops)
             cost = self.local_stage_cost * max(1, len(bound.ops)) * len(batch_records)
             if cost > 0:
                 yield env.timeout(cost)

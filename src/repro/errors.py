@@ -26,6 +26,18 @@ class NotFoundError(StoreError):
     """The requested key/object/pool does not exist."""
 
 
+class QueryError(StoreError):
+    """A declarative query is malformed or failed mid-pipeline.
+
+    Raised by the shared query core (:mod:`repro.query`) for bad
+    operator specs, unknown operators/aggregations, a ``sort`` over a
+    field no record carries, and un-orderable mixed-type sorts -- always
+    naming the offending operator spec in the message.  Subclasses
+    :class:`StoreError` so pre-extraction handlers (the engine used to
+    live in ``repro.store.zql``) keep catching it.
+    """
+
+
 class ConflictError(StoreError):
     """Optimistic-concurrency conflict: the object changed under the writer."""
 

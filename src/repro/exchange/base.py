@@ -15,7 +15,7 @@ write only the fields annotated ``+kr: external`` (Object) or
 
 from dataclasses import dataclass
 
-from repro.errors import ConfigurationError, NotFoundError
+from repro.errors import ConfigurationError, NotFoundError, QueryError
 from repro.exchange.access import (
     ALL_VERBS,
     AccessController,
@@ -24,6 +24,9 @@ from repro.exchange.access import (
     Role,
 )
 from repro.exchange.audit import AuditLog
+from repro.federation import MaterializedView, RegisteredView, ViewHandle
+from repro.flow.admission import VIEW
+from repro.query import Query, QueryResult
 from repro.schema import Schema, SchemaRegistry
 
 
@@ -65,6 +68,7 @@ class DataExchange:
         self.acl = AccessController(audit=self.audit)
         self.grants = []
         self._stores = {}
+        self._views = {}  # composed-view name -> RegisteredView
 
     # -- hosting ---------------------------------------------------------------
 
@@ -75,6 +79,10 @@ class DataExchange:
         """
         if store_name in self._stores:
             raise ConfigurationError(f"store {store_name!r} is already hosted")
+        if store_name in self._views:
+            raise ConfigurationError(
+                f"{store_name!r} already names a composed view here"
+            )
         if isinstance(schema, str):
             schema = Schema.from_text(schema)
         self.schemas.register(schema)
@@ -140,8 +148,11 @@ class DataExchange:
 
         - **role-based** (the common case): ``role="integrator"`` (the
           DE-specific standard integrator grant: reads plus writes scoped
-          to the schema's externalized fields) or ``role="reader"``
-          (read-only).
+          to the schema's externalized fields), ``role="reader"``
+          (read-only), or -- when ``store_name`` is a registered composed
+          view -- ``role="viewer"`` (the ``query`` verb on the view; the
+          per-source secret masks compose at the view boundary, see
+          :meth:`register_view`).
         - **custom**: pass ``verbs`` explicitly (optionally with
           ``write_fields`` / ``read_fields``) for a hand-tuned permission
           set; ``role`` is ignored.
@@ -159,8 +170,19 @@ class DataExchange:
                 "verbs=..., write_fields=...)"
             )
         if verbs is None:
-            verbs, write_fields, default_note = self._role_policy(role, store_name)
-            note = note or default_note
+            if store_name in self._views:
+                if role != "viewer":
+                    raise ConfigurationError(
+                        f"{store_name!r} is a composed view; grant it with "
+                        f'role="viewer" (got role={role!r})'
+                    )
+                verbs, write_fields = {"query"}, None
+                note = note or f"viewer grant on composed view {store_name!r}"
+            else:
+                verbs, write_fields, default_note = self._role_policy(
+                    role, store_name
+                )
+                note = note or default_note
         return self._grant(
             principal, store_name, verbs,
             write_fields=write_fields, read_fields=read_fields, note=note,
@@ -168,13 +190,19 @@ class DataExchange:
 
     def _role_policy(self, role, store_name):
         """Subclass hook: ``(verbs, write_fields, default_note)`` for a role."""
+        if role == "viewer":
+            raise ConfigurationError(
+                f'role="viewer" is scoped to registered composed views; '
+                f"{store_name!r} is a hosted store (use role=\"reader\")"
+            )
         raise ConfigurationError(
             f"{type(self).__name__} has no grant role {role!r}"
         )
 
     def _grant(self, principal, store_name, verbs, write_fields=None,
                read_fields=(), note=""):
-        self.store(store_name)  # must exist
+        if store_name not in self._views:
+            self.store(store_name)  # must exist
         verbs = frozenset(verbs)
         role = Role(
             f"grant:{principal}:{store_name}:{len(self.grants)}",
@@ -213,6 +241,179 @@ class DataExchange:
             'grant(principal, store_name, role="reader")'
         )
 
+    # -- composed views ----------------------------------------------------------
+
+    def register_view(self, view, *, exchanges=None, materialize=True,
+                      registry=None, tracer=None, lag_window=1.0,
+                      floor=0.002):
+        """Register a :class:`~repro.federation.views.ComposedView` here.
+
+        This exchange becomes the view's *home*: the view name joins the
+        ACL namespace (grant read access with ``grant(principal,
+        view_name, role="viewer")``), and ``view()`` / ``query()``
+        answer against it.
+
+        Sources may live on other exchanges: ``exchanges`` maps the
+        names used in :attr:`ViewSource.exchange` to live
+        :class:`DataExchange` instances (``None``/unset sources resolve
+        to this exchange).  For every source the view's service
+        principal (``view:<name>``) is granted ``role="reader"`` on its
+        home exchange and bound to the :data:`~repro.flow.VIEW`
+        admission class on its backend -- so each source's secret-field
+        masks apply at the edge, exactly as they would for any other
+        reader, and the composed record can never leak a field the view
+        itself could not read.
+
+        ``materialize=True`` additionally starts incremental
+        maintenance (a :class:`~repro.federation.MaterializedView` fed
+        from the sources' watch streams); ``lag_window`` / ``floor``
+        tune its staleness estimator.  ``registry`` / ``tracer`` wire
+        the per-view metrics and ``view_*`` trace spans.
+        """
+        name = view.name
+        if name in self._views:
+            raise ConfigurationError(f"view {name!r} is already registered")
+        if name in self._stores:
+            raise ConfigurationError(
+                f"view {name!r} collides with a hosted store name"
+            )
+        resolve = dict(exchanges or {})
+        principal = f"view:{name}"
+        handles, kinds = {}, {}
+        for src in view.sources:
+            if src.exchange is None:
+                de = self
+            else:
+                de = resolve.get(src.exchange)
+                if de is None:
+                    raise ConfigurationError(
+                        f"view {name!r} source {src.alias!r} names unknown "
+                        f"exchange {src.exchange!r}; pass it via "
+                        f"register_view(..., exchanges={{...}})"
+                    )
+            de.grant(principal, src.store, role="reader",
+                     note=f"composed view {name!r} source {src.alias!r}")
+            handles[src.alias] = de.handle(
+                src.store, principal=principal, location=principal,
+            )
+            kinds[src.alias] = (
+                "log" if hasattr(handles[src.alias], "load") else "object"
+            )
+            for server in getattr(de.backend, "shards", None) or [de.backend]:
+                admission = getattr(server, "admission", None)
+                if admission is not None:
+                    admission.assign(principal, VIEW)
+        materialized = None
+        if materialize:
+            materialized = MaterializedView(
+                self.env, view, handles, kinds, registry=registry,
+                lag_window=lag_window, floor=floor,
+            )
+        registered = RegisteredView(
+            self.env, view, self, handles, kinds, registry=registry,
+            tracer=tracer, materialized=materialized,
+        )
+        self._views[name] = registered
+        if materialized is not None:
+            materialized.start()
+        return registered
+
+    def views(self):
+        return sorted(self._views)
+
+    def view(self, view_name, *, principal=None):
+        """A :class:`~repro.federation.ViewHandle` bound to ``principal``.
+
+        The view-side analogue of :meth:`handle`; every ``query`` it
+        answers passes RBAC (the ``query`` verb on the view name).
+        """
+        if principal is None:
+            raise TypeError("view() missing required argument: 'principal'")
+        registered = self._views.get(view_name)
+        if registered is None:
+            raise NotFoundError(
+                f"view {view_name!r} is not registered here"
+            )
+        return ViewHandle(registered, principal)
+
+    # -- the unified declarative read ---------------------------------------------
+
+    def query(self, target, *, ops=(), freshness=None, consistency=None,
+              principal=None, keys=None, strategy=None):
+        """One declarative read API over stores *and* composed views.
+
+        ``target`` is a hosted store name, a registered view name, or a
+        pre-built :class:`repro.query.Query` (whose fields then provide
+        the defaults).  Keyword-only:
+
+        - ``ops``: shared-core pipeline over the result records;
+        - ``freshness`` / ``consistency``: staleness tolerance -- drives
+          the federation planner for views; direct store reads are
+          strong by construction and simply record it;
+        - ``principal``: required; RBAC / admission / audit identity;
+        - ``keys``: root-key restriction (Object stores and views);
+        - ``strategy``: force a view strategy past the planner
+          (views only).
+
+        Returns a process event yielding a
+        :class:`repro.query.QueryResult`.  This subsumes the historical
+        read spellings -- ``handle.list()`` plus a hand-compiled
+        ``zql.compile_query`` pipeline, or per-DE query verbs -- behind
+        one shape (``compile_query`` itself survives only as a warn-once
+        shim in :mod:`repro.store.zql`).
+        """
+        if isinstance(target, Query):
+            spec, target = target, target.target
+            ops = ops or spec.ops
+            freshness = freshness if freshness is not None else spec.freshness
+            consistency = consistency or spec.consistency
+            principal = principal or spec.principal
+            keys = keys if keys is not None else spec.keys
+        if principal is None:
+            raise TypeError("query() missing required argument: 'principal'")
+        if target in self._views:
+            return self.view(target, principal=principal).query(
+                ops=ops, freshness=freshness, consistency=consistency,
+                keys=keys, strategy=strategy,
+            )
+        if strategy is not None:
+            raise QueryError(
+                f"strategy= applies to composed views; {target!r} is a "
+                f"hosted store"
+            )
+        spec = Query(
+            target=target, ops=ops, freshness=freshness,
+            consistency=consistency, principal=principal, keys=keys,
+        )
+        handle = self.handle(target, principal=principal)
+        if hasattr(handle, "load"):
+            if spec.keys is not None:
+                raise QueryError(
+                    f"keys= applies to Object stores and views; "
+                    f"{spec.target!r} is a Log store"
+                )
+            return self.env.process(self._query_log(handle, spec))
+        return self.env.process(self._query_object(handle, spec))
+
+    def _query_log(self, handle, spec):
+        # Analytics push-down: the pipeline executes in the Log store.
+        records = yield handle.query(ops=list(spec.ops))
+        return QueryResult(list(records), strategy="direct")
+
+    def _query_object(self, handle, spec):
+        if spec.keys is not None:
+            rows = []
+            for key in dict.fromkeys(spec.keys):
+                try:
+                    view = yield handle.get(key)
+                except NotFoundError:
+                    continue
+                rows.append({**view["data"], "_key": view["key"]})
+        else:
+            views = yield handle.list()
+            rows = [{**v["data"], "_key": v["key"]} for v in views]
+        return QueryResult(spec.pipeline()(rows), strategy="direct")
+
     # -- handles -----------------------------------------------------------------
 
     def handle(self, store_name, *_removed, principal=None, location=None,
@@ -244,6 +445,11 @@ class DataExchange:
             )
         if principal is None:
             raise TypeError("handle() missing required argument: 'principal'")
+        if store_name in self._views:
+            raise ConfigurationError(
+                f"{store_name!r} is a composed view; read it via "
+                f"view({store_name!r}, principal=...) or query(...)"
+            )
         hosted = self.store(store_name)
         handle = self._make_handle(
             hosted, principal,
@@ -271,6 +477,16 @@ class DataExchange:
             hosted = self._stores[name]
             lines.append(
                 f"  store {name}  schema={hosted.schema.name}  owner={hosted.owner}"
+            )
+        for name in self.views():
+            registered = self._views[name]
+            sources = ", ".join(
+                f"{alias}:{kind}" for alias, kind in registered.kinds.items()
+            )
+            lines.append(
+                f"  view {name}  sources=[{sources}]  "
+                f"freshness={registered.view.freshness}s  "
+                f"materialized={registered.materialized is not None}"
             )
         for grant in self.grants:
             scope = (

@@ -71,10 +71,18 @@ class LogStoreHandle(StoreHandle):
             ).raise_if_invalid()
         return self.client.load(self.hosted.name, records)
 
-    def query(self, ops=(), since_seq=None, until_seq=None):
+    def query(self, ops=(), since_seq=None, until_seq=None,
+              include_watermark=False):
+        """Run a pushed-down pipeline over the pool (optional seq range).
+
+        ``include_watermark=True`` (the federation scan hook) returns
+        ``{"records", "watermark"}`` so the caller can stamp the exact
+        sequence point its snapshot covers and resume from it.
+        """
         self._check("query")
         return self.client.query(
-            self.hosted.name, ops=ops, since_seq=since_seq, until_seq=until_seq
+            self.hosted.name, ops=ops, since_seq=since_seq,
+            until_seq=until_seq, include_watermark=include_watermark,
         )
 
     def stats(self):

@@ -1,0 +1,26 @@
+"""``repro.federation`` -- cross-store query federation (paper §4).
+
+Composed read views over stores hosted on one or more Data Exchanges:
+declare *what* to join (:class:`ComposedView` / :class:`ViewSource`),
+register it on an exchange (``de.register_view``), and read through one
+handle (``de.view(...)`` / ``de.query(...)``) -- the planner picks
+between scatter-gather federated reads and an incrementally maintained
+materialized copy per query, driven by the caller's freshness bound.
+
+See ``docs/federation.md`` for the view-spec grammar, the planner
+rules, and the staleness semantics.
+"""
+
+from repro.federation.engine import Plan, RegisteredView, ViewHandle
+from repro.federation.materialize import MaterializedView
+from repro.federation.views import ComposedView, ViewSource, compose
+
+__all__ = [
+    "ComposedView",
+    "MaterializedView",
+    "Plan",
+    "RegisteredView",
+    "ViewHandle",
+    "ViewSource",
+    "compose",
+]

@@ -1,0 +1,274 @@
+"""Incrementally maintained materialized state for composed views.
+
+One :class:`MaterializedView` keeps a local, continuously-updated copy
+of every source of a :class:`~repro.federation.views.ComposedView`, fed
+from the sources' watch streams through the view's service principal --
+so each row arrives already masked exactly as a federated read through
+the same principal would see it.
+
+Maintenance reuses the delta-watch resilience machinery end to end:
+
+- **Object sources** apply ADDED/MODIFIED/DELETED events guarded by
+  revision (stale deliveries racing a rebuild are dropped); a broken
+  stream (``on_close``) triggers re-watch plus a one-LIST rebuild.
+- **Log sources** keep the raw stamped records and a ``next_seq``
+  cursor.  A batch whose ``first_seq`` jumps past the cursor is a
+  detected gap (a dropped watch message): the view re-queries
+  ``since_seq=cursor`` with the :mod:`~repro.store.loglake` watermark
+  hook and resumes from the exact sequence point, buffering deliveries
+  that race the catch-up.
+
+**Staleness estimate.**  Each applied event contributes an apply-lag
+sample (``now - committed_at``, the same quantity the obs plane's
+``watch_lag_seconds`` tracks).  :meth:`staleness` reports the worst
+recent sample across sources but never less than a configurable
+pipeline ``floor`` -- a materialized copy is never *perfectly* fresh,
+even when every observed sample is zero -- and ``inf`` while any
+source is resyncing, which is what forces the planner back to
+federated reads until the view has provably caught up.
+"""
+
+from collections import deque
+
+from repro.query.core import compile_ops
+
+
+class _SourceState:
+    __slots__ = (
+        "source", "kind", "handle", "table", "revisions", "rows", "cursor",
+        "resyncing", "pending", "lag", "watch", "applied", "resyncs",
+    )
+
+    def __init__(self, source, kind, handle):
+        self.source = source
+        self.kind = kind  # "object" | "log"
+        self.handle = handle
+        self.table = {}  # object: key -> {**data, "_key": key}
+        self.revisions = {}  # object: key -> last applied revision
+        self.rows = []  # log: raw stamped records
+        self.cursor = 0  # log: next _seq this copy expects
+        self.resyncing = True  # until the initial seed lands
+        self.pending = []  # log: deliveries racing a catch-up
+        self.lag = deque()  # (observed_at, apply_lag_seconds)
+        self.watch = None
+        self.applied = 0
+        self.resyncs = 0
+
+
+class MaterializedView:
+    """The maintained local answer substrate for one composed view."""
+
+    def __init__(self, env, view, handles, kinds, *, registry=None,
+                 lag_window=1.0, floor=0.002):
+        self.env = env
+        self.view = view
+        self.registry = registry
+        #: Sliding window (seconds) of apply-lag samples considered live.
+        self.lag_window = lag_window
+        #: Staleness reported when the window is quiet: the typical
+        #: watch-pipeline latency an in-flight event would arrive with.
+        self.floor = floor
+        self._sources = {
+            src.alias: _SourceState(src, kinds[src.alias], handles[src.alias])
+            for src in view.sources
+        }
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self):
+        """Wire watches and seed every source; returns the seed process."""
+        if self._started:
+            raise RuntimeError(f"view {self.view.name!r} already maintained")
+        self._started = True
+        for state in self._sources.values():
+            self._wire(state)
+        return self.env.process(self._seed_all())
+
+    def stop(self):
+        for state in self._sources.values():
+            if state.watch is not None:
+                state.watch.cancel()
+                state.watch = None
+        self._started = False
+
+    def _wire(self, state):
+        if state.watch is not None:
+            state.watch.cancel()
+        if state.kind == "object":
+            state.watch = state.handle.watch(
+                lambda event, s=state: self._apply_object(s, event),
+                on_close=lambda s=state: self._on_watch_lost(s),
+            )
+        else:
+            state.watch = state.handle.watch(
+                lambda event, s=state: self._on_log_batch(s, event),
+                on_close=lambda s=state: self._on_watch_lost(s),
+            )
+
+    def _seed_all(self):
+        for state in self._sources.values():
+            yield self.env.process(self._resync(state, initial=True))
+
+    # -- object maintenance ------------------------------------------------
+
+    def _apply_object(self, state, event):
+        if state.resyncing:
+            # A rebuild (one LIST) is in flight and will overwrite the
+            # table wholesale; buffer and drain behind the revision guard.
+            state.pending.append(event)
+            return
+        last = state.revisions.get(event.key)
+        if last is not None and event.revision < last:
+            return  # stale delivery racing a rebuild
+        state.revisions[event.key] = event.revision
+        if event.type == "DELETED":
+            state.table.pop(event.key, None)
+        else:
+            state.table[event.key] = {**event.object, "_key": event.key}
+        self._applied(state, event.committed_at, event.ctx, 1)
+
+    # -- log maintenance ---------------------------------------------------
+
+    def _on_log_batch(self, state, event):
+        if state.resyncing:
+            state.pending.append(event)
+            return
+        payload = event.object
+        if payload["first_seq"] > state.cursor:
+            # Gap: a watch message was dropped between cursor and this
+            # batch.  Re-query from the cursor; the catch-up's watermark
+            # covers this batch too, so it is not applied directly.
+            self._trigger_resync(state)
+            state.pending.append(event)
+            return
+        self._apply_log_records(state, payload["records"], event)
+
+    def _apply_log_records(self, state, records, event):
+        fresh = [r for r in records if r["_seq"] >= state.cursor]
+        if not fresh:
+            return
+        state.rows.extend(fresh)
+        state.cursor = fresh[-1]["_seq"] + 1
+        self._applied(state, event.committed_at, event.ctx, len(fresh))
+
+    # -- resync ------------------------------------------------------------
+
+    def _on_watch_lost(self, state):
+        if not self._started:
+            return
+        self._wire(state)
+        self._trigger_resync(state)
+
+    def _trigger_resync(self, state):
+        if state.resyncing:
+            return
+        self.env.process(self._resync(state))
+
+    def _resync(self, state, initial=False):
+        state.resyncing = True
+        if not initial:
+            state.resyncs += 1
+            self._count("view_resyncs_total", source=state.source.alias)
+        if state.kind == "object":
+            views = yield state.handle.list()
+            table, revisions = {}, dict(state.revisions)
+            for view in views:
+                key, revision = view["key"], view["revision"]
+                if revisions.get(key, -1) > revision:
+                    continue  # a watch event already moved past the LIST
+                table[key] = {**view["data"], "_key": key}
+                revisions[key] = revision
+            state.table, state.revisions = table, revisions
+        else:
+            answer = yield state.handle.query(
+                ops=(), since_seq=state.cursor, include_watermark=True,
+            )
+            synthetic_now = self.env.now
+            fresh = [r for r in answer["records"] if r["_seq"] >= state.cursor]
+            state.rows.extend(fresh)
+            state.cursor = max(state.cursor, answer["watermark"])
+            if fresh:
+                state.applied += len(fresh)
+                state.lag.append((synthetic_now, self.floor))
+        state.resyncing = False
+        # Drain deliveries that raced the catch-up (already-covered seqs
+        # fall out of the cursor guard).
+        pending, state.pending = state.pending, []
+        for event in pending:
+            if state.kind == "log":
+                self._apply_log_records(state, event.object["records"], event)
+            else:
+                self._apply_object(state, event)
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _applied(self, state, committed_at, ctx, count):
+        state.applied += count
+        now = self.env.now
+        if committed_at is not None:
+            state.lag.append((now, now - committed_at))
+            while state.lag and state.lag[0][0] < now - self.lag_window:
+                state.lag.popleft()
+        self._count("view_apply_events_total", source=state.source.alias,
+                    amount=count)
+        if self.registry is not None and committed_at is not None:
+            self.registry.histogram(
+                "view_apply_lag_seconds", view=self.view.name,
+                source=state.source.alias,
+            ).observe(now - committed_at)
+        if ctx is not None and ctx.sink is not None:
+            ctx.sink.point(
+                "view_apply", service=f"view:{self.view.name}", parent=ctx,
+                view=self.view.name, source=state.source.alias,
+            )
+
+    def _count(self, name, source, amount=1):
+        if self.registry is not None:
+            self.registry.counter(
+                name, view=self.view.name, source=source
+            ).inc(amount)
+
+    # -- read side ---------------------------------------------------------
+
+    def staleness(self, now=None):
+        """Worst-case seconds this view's answer may lag the sources."""
+        now = self.env.now if now is None else now
+        worst = self.floor
+        for state in self._sources.values():
+            if state.resyncing:
+                return float("inf")
+            horizon = now - self.lag_window
+            recent = [lag for at, lag in state.lag if at >= horizon]
+            worst = max(worst, max(recent, default=0.0))
+        return worst
+
+    def tables(self):
+        """alias -> joined-ready rows (per-source ops applied locally)."""
+        out = {}
+        for alias, state in self._sources.items():
+            if state.kind == "object":
+                # Deterministic _key order: both strategies must feed the
+                # join identically-ordered rows or answer identity breaks
+                # on order-sensitive ops (sort ties, head/tail).
+                rows = sorted(
+                    (dict(r) for r in state.table.values()),
+                    key=lambda r: r["_key"],
+                )
+            else:
+                rows = list(state.rows)
+            out[alias] = compile_ops(state.source.ops)(rows)
+        return out
+
+    def status(self):
+        return {
+            alias: {
+                "kind": state.kind,
+                "applied": state.applied,
+                "resyncs": state.resyncs,
+                "resyncing": state.resyncing,
+                "rows": (len(state.table) if state.kind == "object"
+                         else len(state.rows)),
+            }
+            for alias, state in self._sources.items()
+        }

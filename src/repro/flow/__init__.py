@@ -28,6 +28,7 @@ from repro.flow.admission import (
     DEFAULT_CLASSES,
     INTEGRATOR,
     NORMAL,
+    VIEW,
     AdmissionController,
     PriorityClass,
 )
@@ -84,6 +85,7 @@ __all__ = [
     "FlowConfig",
     "DEFAULT_CLASSES",
     "INTEGRATOR",
+    "VIEW",
     "NORMAL",
     "BULK",
     "BLOCK",

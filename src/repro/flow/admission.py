@@ -27,8 +27,9 @@ from repro.errors import ConfigurationError
 
 #: The built-in priority classes.  ``share`` scales the class's token
 #: rate at steady state; ``floor`` is the AIMD scale it can never be cut
-#: below (the overload ranking: integrator >> normal >> bulk).
+#: below (the overload ranking: integrator >> view >> normal >> bulk).
 INTEGRATOR = "integrator"
+VIEW = "view"
 NORMAL = "normal"
 BULK = "bulk"
 
@@ -44,6 +45,12 @@ class PriorityClass:
 
 DEFAULT_CLASSES = (
     PriorityClass(INTEGRATOR, share=1.0, floor=0.5),
+    # Composed-view service principals: federated scatter reads and
+    # materialized-view maintenance.  Above NORMAL (a congested store
+    # that starves view maintenance makes every later read pay a
+    # federated fan-out, amplifying the overload), below INTEGRATOR
+    # (control loops keep the system converging).
+    PriorityClass(VIEW, share=1.0, floor=0.3),
     PriorityClass(NORMAL, share=1.0, floor=0.1),
     PriorityClass(BULK, share=0.5, floor=0.02),
 )

@@ -14,7 +14,7 @@ from repro.errors import AlreadyExistsError, NotFoundError, StoreError
 from repro.obs.context import current_context
 from repro.store.base import OpLatency, StoreClient, StoreServer, WatchEvent
 from repro.store.cow import CowMap, copy_value, estimate_size, freeze
-from repro.store.zql import compile_query
+from repro.query.core import compile_ops
 
 #: Event type for log-batch delivery (pools are append-only: no MODIFIED).
 APPENDED = "APPENDED"
@@ -129,21 +129,29 @@ class LogLake(StoreServer):
                 timer.callbacks.append(lambda _evt: self.notify(event))
         return {"pool": pool, "first_seq": first_seq, "count": len(stamped)}
 
-    def op_query(self, pool, ops=(), since_seq=None, until_seq=None):
+    def op_query(self, pool, ops=(), since_seq=None, until_seq=None,
+                 include_watermark=False):
         """Run a ZQL pipeline over the pool (optionally a seq range).
 
         ``since_seq`` is inclusive, ``until_seq`` exclusive.  Implemented
         as a sub-process: scan time is proportional to the number of
         records scanned.
+
+        ``include_watermark=True`` is the federation scan hook: the
+        answer becomes ``{"records": [...], "watermark": next_seq}`` so
+        a federated read (or a materialized view's catch-up) can stamp
+        the exact sequence point its snapshot covers and resume from it
+        without re-scanning.
         """
         target = self._pool(pool)
+        watermark = target.next_seq
         scanned = [
             r
             for r in target.records
             if (since_seq is None or r["_seq"] >= since_seq)
             and (until_seq is None or r["_seq"] < until_seq)
         ]
-        pipeline = compile_query(list(ops))
+        pipeline = compile_ops(list(ops))
 
         def run(env):
             delay = len(scanned) * self.scan_cost_per_record
@@ -155,10 +163,14 @@ class LogLake(StoreServer):
                 # this scan used to pay is gone.
                 for row in scanned:
                     self.copy_meter.shared(estimate_size(row))
-                return pipeline(list(scanned))
-            return pipeline(
-                [copy_value(r, self.copy_meter, "scan") for r in scanned]
-            )
+                records = pipeline(list(scanned))
+            else:
+                records = pipeline(
+                    [copy_value(r, self.copy_meter, "scan") for r in scanned]
+                )
+            if include_watermark:
+                return {"records": records, "watermark": watermark}
+            return records
 
         return run(self.env)
 
@@ -192,10 +204,12 @@ class LogLakeClient(StoreClient):
     def load(self, pool, records):
         return self.request("load", pool=pool, records=records)
 
-    def query(self, pool, ops=(), since_seq=None, until_seq=None):
+    def query(self, pool, ops=(), since_seq=None, until_seq=None,
+              include_watermark=False):
         return self.request(
             "query", pool=pool, ops=list(ops),
             since_seq=since_seq, until_seq=until_seq,
+            include_watermark=include_watermark,
         )
 
     def stats(self, pool):

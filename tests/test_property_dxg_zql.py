@@ -8,7 +8,7 @@ from repro.core.dxg.parser import build_spec
 from repro.exchange import ObjectDE
 from repro.simnet import Environment, FixedLatency, Network
 from repro.store import ApiServer
-from repro.store.zql import compile_query
+from repro.query import compile_ops
 
 # ---------------------------------------------------------------------------
 # Random acyclic DXGs: store B's fields computed from store A's fields.
@@ -133,19 +133,19 @@ _records = st.lists(
 class TestZQLProperties:
     @given(records=_records)
     def test_filter_output_subset_of_input(self, records):
-        out = compile_query([{"op": "filter", "expr": "v > 0"}])(list(records))
+        out = compile_ops([{"op": "filter", "expr": "v > 0"}])(list(records))
         assert all(r in records for r in out)
         assert all(r["v"] > 0 for r in out)
 
     @given(records=_records)
     def test_sort_is_an_ordered_permutation(self, records):
-        out = compile_query([{"op": "sort", "by": "v"}])(list(records))
+        out = compile_ops([{"op": "sort", "by": "v"}])(list(records))
         assert sorted(out, key=lambda r: r["v"]) == out
         assert sorted(map(repr, out)) == sorted(map(repr, records))
 
     @given(records=_records)
     def test_rename_preserves_count_and_values(self, records):
-        out = compile_query([{"op": "rename", "from": "v", "to": "value"}])(
+        out = compile_ops([{"op": "rename", "from": "v", "to": "value"}])(
             list(records)
         )
         assert len(out) == len(records)
@@ -153,7 +153,7 @@ class TestZQLProperties:
 
     @given(records=_records)
     def test_agg_sum_matches_manual(self, records):
-        [row] = compile_query([{"op": "agg", "aggs": {"t": "sum(v)", "n": "count()"}}])(
+        [row] = compile_ops([{"op": "agg", "aggs": {"t": "sum(v)", "n": "count()"}}])(
             list(records)
         )
         assert row["t"] == sum(r["v"] for r in records)
@@ -161,7 +161,7 @@ class TestZQLProperties:
 
     @given(records=_records)
     def test_grouped_sum_partitions_total(self, records):
-        rows = compile_query(
+        rows = compile_ops(
             [{"op": "agg", "aggs": {"t": "sum(v)"}, "by": ["w"]}]
         )(list(records))
         assert sum(r["t"] for r in rows) == sum(r["v"] for r in records)
@@ -172,7 +172,7 @@ class TestZQLProperties:
         import copy
 
         snapshot = copy.deepcopy(records)
-        compile_query(
+        compile_ops(
             [{"op": "derive", "field": "d", "expr": "v * 2"},
              {"op": "filter", "expr": "d > 0"},
              {"op": "sort", "by": "d"}]
@@ -181,7 +181,7 @@ class TestZQLProperties:
 
     @given(records=_records, k=st.integers(min_value=0, max_value=40))
     def test_head_tail_bounds(self, records, k):
-        head = compile_query([{"op": "head", "count": k}])(list(records))
-        tail = compile_query([{"op": "tail", "count": k}])(list(records))
+        head = compile_ops([{"op": "head", "count": k}])(list(records))
+        tail = compile_ops([{"op": "tail", "count": k}])(list(records))
         assert len(head) == min(k, len(records))
         assert len(tail) == min(k, len(records))

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.errors import StoreError
-from repro.store.zql import OPERATORS, compile_query
+from repro.errors import QueryError, StoreError
+from repro.query import OPERATORS, compile_ops
 
 
 RECORDS = [
@@ -14,7 +14,7 @@ RECORDS = [
 
 
 def run(ops, records=None):
-    return compile_query(ops)(list(records if records is not None else RECORDS))
+    return compile_ops(ops)(list(records if records is not None else RECORDS))
 
 
 class TestOperators:
@@ -117,26 +117,48 @@ class TestOperators:
 class TestErrors:
     def test_unknown_operator(self):
         with pytest.raises(StoreError):
-            compile_query([{"op": "explode"}])
+            compile_ops([{"op": "explode"}])
 
     def test_missing_required_key(self):
         with pytest.raises(StoreError):
-            compile_query([{"op": "filter"}])
+            compile_ops([{"op": "filter"}])
 
     def test_bad_spec_shape(self):
         with pytest.raises(StoreError):
-            compile_query(["filter"])
+            compile_ops(["filter"])
 
     def test_bad_aggregation_spelling(self):
         with pytest.raises(StoreError):
-            compile_query([{"op": "agg", "aggs": {"x": "sum watts"}}])
+            compile_ops([{"op": "agg", "aggs": {"x": "sum watts"}}])
 
     def test_unknown_aggregation_function(self):
         with pytest.raises(StoreError):
-            compile_query([{"op": "agg", "aggs": {"x": "median(watts)"}}])
+            compile_ops([{"op": "agg", "aggs": {"x": "median(watts)"}}])
+
+    def test_sort_unknown_field_raises_query_error(self):
+        """No record carries the sort field: a typed QueryError naming
+        the offending op spec, not a bare KeyError."""
+        with pytest.raises(QueryError) as exc:
+            run([{"op": "sort", "by": "wattz"}])
+        assert "wattz" in str(exc.value)
+        assert "sort" in str(exc.value)
 
     def test_operator_catalog_exposed(self):
         assert {"filter", "rename", "agg", "sort"} <= OPERATORS
+
+
+class TestDeprecatedShim:
+    def test_compile_query_warns_once_and_delegates(self):
+        from repro.store.ring import _reset_deprecations
+        from repro.store.zql import compile_query
+
+        _reset_deprecations()
+        with pytest.warns(DeprecationWarning, match="compile_ops"):
+            rows = compile_query([{"op": "filter", "expr": "watts > 5"}])(
+                list(RECORDS)
+            )
+        assert [r["device"] for r in rows] == ["lamp-1", "lamp-2"]
+        _reset_deprecations()
 
 
 class TestPurity:
